@@ -1,0 +1,47 @@
+"""Fig. 3b — memory usage during computation, plus the static-footprint
+observation (Takeaway 4: weights and codebooks dominate storage; NVSA's
+combination codebook is its largest object; ZeroC's neural ensembles
+are memory-hungry; PrAE's symbolic planning holds live intermediates).
+"""
+
+from repro.core.memory import memory_profile
+from repro.core.profiler import PHASE_NEURAL, PHASE_SYMBOLIC
+from repro.core.report import format_bytes, render_table
+from repro.workloads import PAPER_ORDER
+
+from conftest import cached_trace, emit
+
+
+def reproduce_fig3b():
+    return {name: memory_profile(cached_trace(name, seed=0))
+            for name in PAPER_ORDER}
+
+
+def test_fig3b_memory(benchmark):
+    profiles = benchmark.pedantic(reproduce_fig3b, rounds=1, iterations=1)
+    rows = []
+    for name, profile in profiles.items():
+        rows.append([
+            name.upper(),
+            format_bytes(profile.peak_live_bytes),
+            format_bytes(profile.peak_live_by_phase.get(PHASE_NEURAL, 0)),
+            format_bytes(profile.peak_live_by_phase.get(PHASE_SYMBOLIC, 0)),
+            format_bytes(profile.parameter_bytes),
+            format_bytes(profile.codebook_bytes),
+            f"{profile.codebook_fraction * 100:.0f}%",
+        ])
+    emit("fig3b_memory", render_table(
+        ["workload", "peak live", "neural peak", "symbolic peak",
+         "weights", "codebooks/KB", "codebook share"],
+        rows, title="Fig. 3b — memory usage during computation"))
+
+    # shape checks
+    nvsa = profiles["nvsa"]
+    assert nvsa.codebook_bytes > nvsa.parameter_bytes   # codebook-dominant
+    zeroc = profiles["zeroc"]
+    assert zeroc.peak_live_by_phase[PHASE_NEURAL] > \
+        zeroc.peak_live_by_phase.get(PHASE_SYMBOLIC, 0)  # EBM ensembles
+    prae = profiles["prae"]
+    ltn = profiles["ltn"]
+    assert prae.peak_live_by_phase[PHASE_SYMBOLIC] > \
+        ltn.peak_live_by_phase[PHASE_SYMBOLIC]           # joint planning

@@ -1,0 +1,55 @@
+"""Tables I-III — the paper's categorization tables, regenerated from
+the code registries:
+
+* Table I  — 17 neuro-symbolic algorithms across Kautz's five
+  paradigms with their underlying operations and vector formats;
+* Table II — underlying-operation examples;
+* Table III — the seven profiled workloads' metadata.
+"""
+
+from repro.core.taxonomy import (ALGORITHM_REGISTRY, OPERATION_EXAMPLES,
+                                 NSParadigm, algorithms_by_paradigm)
+from repro.core.report import render_table
+from repro.workloads import PAPER_ORDER, all_infos
+
+from conftest import emit
+
+
+def reproduce_tables():
+    table1 = [[e.name, e.paradigm.value,
+               ", ".join(e.underlying_operations), e.vector_label]
+              for e in ALGORITHM_REGISTRY]
+    table2 = [[e.operation, e.workload, e.example[:60] + "..."]
+              for e in OPERATION_EXAMPLES]
+    infos = {i.name: i for i in all_infos()}
+    table3 = [[name.upper(), infos[name].paradigm.value,
+               infos[name].learning_approach,
+               infos[name].application[:40],
+               infos[name].datatype,
+               infos[name].neural_workload,
+               infos[name].symbolic_workload[:40]]
+              for name in PAPER_ORDER]
+    return table1, table2, table3
+
+
+def test_tab1_3_taxonomy(benchmark):
+    table1, table2, table3 = benchmark.pedantic(reproduce_tables,
+                                                rounds=1, iterations=1)
+    text = "\n\n".join([
+        render_table(["algorithm", "paradigm", "underlying operations",
+                      "vector format"], table1,
+                     title="Table I — algorithm taxonomy"),
+        render_table(["operation", "workload", "example"], table2,
+                     title="Table II — underlying operations"),
+        render_table(["workload", "paradigm", "learning", "application",
+                      "datatype", "neural", "symbolic"], table3,
+                     title="Table III — profiled workloads"),
+    ])
+    emit("tab1_3_taxonomy", text)
+
+    assert len(table1) == 17
+    assert len(table2) == 4
+    assert len(table3) == 7
+    # every paradigm is populated
+    for paradigm in NSParadigm:
+        assert algorithms_by_paradigm(paradigm), paradigm

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures: cached workload traces and a result
+emitter that both prints each reproduced table/figure and archives it
+under ``benchmarks/results/``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.profiler import Trace
+from repro.workloads import PAPER_ORDER, create
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TRACE_CACHE = {}
+
+
+def cached_trace(name: str, **params) -> Trace:
+    key = (name, tuple(sorted(params.items())))
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = create(name, **params).profile()
+    return _TRACE_CACHE[key]
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a reproduced artifact and archive it to results/."""
+    banner = f"\n{'=' * 72}\n{experiment}\n{'=' * 72}\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def all_traces() -> dict:
+    return {name: cached_trace(name, seed=0) for name in PAPER_ORDER}

@@ -1,0 +1,49 @@
+"""Quickstart: profile one neuro-symbolic workload and print every
+characterization view the suite produces.
+
+Run:  python examples/quickstart.py [workload]
+
+``workload`` is any of: lnn, ltn, nvsa, nlm, vsait, zeroc, prae
+(default nvsa).
+"""
+
+import sys
+
+from repro.core.report import format_time
+from repro.core.suite import characterize
+from repro.hwsim import JETSON_TX2, RTX_2080TI, project_trace
+from repro.workloads import available, create
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "nvsa"
+    if name not in available():
+        raise SystemExit(f"unknown workload {name!r}; "
+                         f"choose from {available()}")
+
+    print(f"characterizing {name!r} ...")
+    workload = create(name, seed=0)
+    report = characterize(workload)
+
+    # the one-call report: latency split, operator categories, memory,
+    # boundedness, operation graph, sparsity
+    print()
+    print(report.render())
+
+    # task-level result (the workload actually solves its task)
+    print()
+    print("task result:", report.result)
+
+    # projecting the same trace onto an edge SoC
+    edge = project_trace(report.trace, JETSON_TX2)
+    desktop = project_trace(report.trace, RTX_2080TI)
+    print()
+    print(f"projected latency on {RTX_2080TI.name}: "
+          f"{format_time(desktop.total_time)}")
+    print(f"projected latency on {JETSON_TX2.name}:  "
+          f"{format_time(edge.total_time)} "
+          f"({edge.total_time / desktop.total_time:.1f}x slower)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""What-if study: how much would the paper's recommended optimizations
+actually buy?  (Paper Sec. V recommendations 2-6.)
+
+Applies the suite's what-if models — symbolic processing units,
+quantization, sparsity-aware execution, compute-in-memory, bandwidth
+scaling, parallel scheduling — to every workload and ranks the wins.
+
+Run:  python examples/whatif_accelerator.py
+"""
+
+from repro.core.analysis import latency_breakdown
+from repro.core.report import format_time, render_table
+from repro.hwsim import RTX_2080TI
+from repro.hwsim.whatif import (compute_in_memory, parallel_schedule_bound,
+                                quantize_trace, symbolic_accelerator)
+from repro.workloads import PAPER_ORDER, create
+
+
+def main() -> None:
+    accel_device = symbolic_accelerator(RTX_2080TI)
+    cim_device = compute_in_memory(RTX_2080TI)
+
+    rows = []
+    for name in PAPER_ORDER:
+        trace = create(name, seed=0).profile()
+        base = latency_breakdown(trace, RTX_2080TI)
+        accel = latency_breakdown(trace, accel_device)
+        quant = latency_breakdown(quantize_trace(trace, 8), RTX_2080TI)
+        cim = latency_breakdown(trace, cim_device)
+        parallel = parallel_schedule_bound(trace, RTX_2080TI)
+        rows.append([
+            name.upper(),
+            format_time(base.total_time),
+            f"{base.total_time / accel.total_time:.2f}x",
+            f"{base.total_time / quant.total_time:.2f}x",
+            f"{base.total_time / cim.total_time:.2f}x",
+            f"{parallel:.2f}x",
+        ])
+    print(render_table(
+        ["workload", "baseline", "symbolic unit", "INT8", "CIM",
+         "parallel bound"],
+        rows,
+        title="Speedups from the paper's recommendations (RTX model)"))
+
+    print()
+    print("Reading the table:")
+    print(" * symbolic-unit gains track the symbolic latency share —")
+    print("   NVSA/PrAE (>85% symbolic, small kernels) gain the most;")
+    print(" * INT8/CIM gains track memory-boundedness — VSAIT's")
+    print("   streaming hypervector algebra benefits, launch-bound")
+    print("   workloads barely move;")
+    print(" * the parallel bound shows how much independence the")
+    print("   operation graph leaves for co-scheduling (Rec. 5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setuptools shim: lets ``pip install -e .`` fall back to the legacy
+editable path on minimal/offline environments that lack the ``wheel``
+package PEP 660 builds require."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — workload characterization suite for neuro-symbolic AI.
+
+A from-scratch reproduction of "Towards Cognitive AI Systems: Workload
+and Characterization of Neuro-Symbolic AI" (Wan et al., ISPASS 2024):
+
+* :mod:`repro.tensor`    — instrumented numpy tensor runtime (the
+  suite's PyTorch-Profiler equivalent);
+* :mod:`repro.nn`        — neural-network substrate;
+* :mod:`repro.vsa`       — vector-symbolic architecture substrate;
+* :mod:`repro.logic`     — fuzzy/FOL/knowledge-base substrate;
+* :mod:`repro.hwsim`     — device models, roofline, cache simulator;
+* :mod:`repro.datasets`  — synthetic stand-ins for the paper's corpora;
+* :mod:`repro.workloads` — the seven characterized models (LNN, LTN,
+  NVSA, NLM, VSAIT, ZeroC, PrAE);
+* :mod:`repro.core`      — the characterization analyses that
+  regenerate every figure and table of the paper's evaluation.
+
+Quickstart::
+
+    from repro.workloads import create
+    from repro.core.suite import characterize
+
+    report = characterize(create("nvsa"))
+    print(report.render())
+"""
+
+__version__ = "1.0.0"

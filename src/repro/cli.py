@@ -1,0 +1,177 @@
+"""Command-line interface.
+
+Usage (``python -m repro ...``):
+
+    python -m repro list
+    python -m repro characterize nvsa --device tx2
+    python -m repro functions nvsa --phase symbolic --top 10
+    python -m repro roster --device rtx
+    python -m repro chrome nvsa -o nvsa_trace.json
+    python -m repro energy nvsa
+
+Everything routes through the same public API the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import latency_breakdown
+from repro.core.functions import (function_table, render_function_table,
+                                  to_chrome_trace)
+from repro.core.report import format_time, render_table
+from repro.core.suite import characterize
+from repro.hwsim.devices import get_device
+from repro.hwsim.energy import estimate_energy
+from repro.workloads import PAPER_ORDER, available, create
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neuro-symbolic workload characterization suite")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered workloads")
+
+    for name, help_text in (
+            ("characterize", "full characterization of one workload"),
+            ("functions", "function-level statistics table"),
+            ("chrome", "export a chrome://tracing timeline"),
+            ("energy", "energy estimate on a device"),
+            ("save-trace", "profile a workload and archive its trace"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("workload", help="registered workload name")
+        cmd.add_argument("--device", default="rtx",
+                         help="device name or alias (default rtx)")
+        cmd.add_argument("--seed", type=int, default=0)
+        if name == "functions":
+            cmd.add_argument("--phase", default=None,
+                             help="restrict to one phase")
+            cmd.add_argument("--top", type=int, default=15)
+        if name == "chrome":
+            cmd.add_argument("-o", "--output", default=None,
+                             help="output path (default stdout)")
+        if name == "save-trace":
+            cmd.add_argument("-o", "--output", required=True,
+                             help="trace JSON output path")
+
+    analyze = sub.add_parser(
+        "analyze-trace",
+        help="re-run the latency/operator analyses on an archived trace")
+    analyze.add_argument("path", help="trace JSON written by save-trace")
+    analyze.add_argument("--device", default="rtx")
+
+    roster = sub.add_parser("roster",
+                            help="latency split of the paper's roster")
+    roster.add_argument("--device", default="rtx")
+    roster.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _require_workload(name: str) -> None:
+    if name not in available():
+        raise SystemExit(
+            f"unknown workload {name!r}; available: {available()}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "analyze-trace":
+        from repro.core.report import render_shares
+        from repro.core.serialize import load_trace
+        device = get_device(args.device)
+        trace = load_trace(args.path)
+        lb = latency_breakdown(trace, device)
+        print(f"{trace.workload or args.path} on {device.name}: "
+              f"{format_time(lb.total_time)}")
+        print(render_shares(
+            {phase: t / lb.total_time
+             for phase, t in lb.phase_times.items()},
+            title="latency by phase"))
+        stats = function_table(trace, device)
+        print()
+        print(render_function_table(stats, top=10))
+        return 0
+
+    if args.command == "list":
+        rows = []
+        for name in available():
+            workload = create(name)
+            info = workload.info
+            rows.append([name, info.paradigm.value,
+                         info.application[:48]])
+        print(render_table(["name", "paradigm", "application"], rows,
+                           title="registered workloads"))
+        return 0
+
+    if args.command == "roster":
+        device = get_device(args.device)
+        rows = []
+        for name in PAPER_ORDER:
+            trace = create(name, seed=args.seed).profile()
+            lb = latency_breakdown(trace, device)
+            rows.append([name.upper(), format_time(lb.total_time),
+                         f"{lb.neural_fraction * 100:.1f}%",
+                         f"{lb.symbolic_fraction * 100:.1f}%"])
+        print(render_table(
+            ["workload", "total", "neural %", "symbolic %"], rows,
+            title=f"latency split on {device.name}"))
+        return 0
+
+    _require_workload(args.workload)
+    device = get_device(args.device)
+
+    if args.command == "characterize":
+        report = characterize(create(args.workload, seed=args.seed),
+                              device)
+        print(report.render())
+        print()
+        print("task result:", report.result)
+        return 0
+
+    trace = create(args.workload, seed=args.seed).profile()
+
+    if args.command == "functions":
+        stats = function_table(trace, device, phase=args.phase)
+        print(render_function_table(stats, top=args.top))
+        return 0
+
+    if args.command == "chrome":
+        payload = to_chrome_trace(trace, device)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(payload)
+            print(f"wrote {args.output} "
+                  f"(open in chrome://tracing or Perfetto)")
+        else:
+            print(payload)
+        return 0
+
+    if args.command == "save-trace":
+        from repro.core.serialize import save_trace
+        save_trace(trace, args.output)
+        print(f"wrote {args.output} ({len(trace)} events); re-analyze "
+              f"with: python -m repro analyze-trace {args.output}")
+        return 0
+
+    if args.command == "energy":
+        report = estimate_energy(trace, device)
+        print(f"{args.workload} on {report.device}:")
+        print(f"  latency        {format_time(report.total_time)}")
+        print(f"  energy         {report.total_energy * 1e3:.3f} mJ")
+        print(f"  average power  {report.average_power:.1f} W")
+        for phase, joules in report.energy_by_phase.items():
+            print(f"  {phase or 'untagged':<12s}   "
+                  f"{joules * 1e3:.3f} mJ")
+        return 0
+
+    raise SystemExit(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Memory analysis (Fig. 3b and Takeaway 4).
+
+Two views:
+
+* **dynamic** — live intermediate-tensor bytes over the run (tracked by
+  the runtime's allocation counter), split per phase: the paper notes
+  PrAE's symbolic phase holds large intermediates (exhaustive search)
+  while ZeroC's neural ensembles dominate its usage;
+* **static footprint** — neural parameter bytes vs. symbolic
+  codebook/knowledge bytes: "neural weights and symbolic codebooks
+  typically consume more storage ... >90% memory footprint in NVSA".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profiler import Trace
+
+
+@dataclass
+class MemoryProfile:
+    """One workload's Fig. 3b entry."""
+
+    workload: str
+    peak_live_bytes: int
+    peak_live_by_phase: Dict[str, int]
+    traffic_by_phase: Dict[str, int]
+    parameter_bytes: int
+    codebook_bytes: int
+
+    @property
+    def static_footprint(self) -> int:
+        return self.parameter_bytes + self.codebook_bytes
+
+    @property
+    def static_fraction(self) -> float:
+        """Share of (static + peak dynamic) memory that is weights and
+        codebooks — the paper's '>90% of footprint' NVSA observation."""
+        total = self.static_footprint + self.peak_live_bytes
+        return self.static_footprint / total if total else 0.0
+
+    @property
+    def codebook_fraction(self) -> float:
+        if self.static_footprint == 0:
+            return 0.0
+        return self.codebook_bytes / self.static_footprint
+
+    def phase_peak_fraction(self, phase: str) -> float:
+        peak = max(self.peak_live_by_phase.values(), default=0)
+        if peak == 0:
+            return 0.0
+        return self.peak_live_by_phase.get(phase, 0) / peak
+
+
+def memory_profile(trace: Trace) -> MemoryProfile:
+    """Extract the memory view from a trace (uses the live-bytes
+    samples each event carries plus the workload's static accounting
+    stored in trace metadata)."""
+    peak_by_phase: Dict[str, int] = {}
+    traffic: Dict[str, int] = {}
+    for event in trace:
+        if event.live_bytes > peak_by_phase.get(event.phase, 0):
+            peak_by_phase[event.phase] = event.live_bytes
+        traffic[event.phase] = traffic.get(event.phase, 0) + event.total_bytes
+    return MemoryProfile(
+        workload=trace.workload,
+        peak_live_bytes=max(peak_by_phase.values(), default=0),
+        peak_live_by_phase=peak_by_phase,
+        traffic_by_phase=traffic,
+        parameter_bytes=int(trace.metadata.get("parameter_bytes", 0)),
+        codebook_bytes=int(trace.metadata.get("codebook_bytes", 0)),
+    )
+
+
+def live_bytes_series(trace: Trace) -> List[Tuple[int, str, int]]:
+    """(event id, phase, live bytes) samples for plotting usage curves."""
+    return [(e.eid, e.phase, e.live_bytes) for e in trace]

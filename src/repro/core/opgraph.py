@@ -1,0 +1,139 @@
+"""Operation-graph analysis (Fig. 4 and Takeaway 5).
+
+Every trace carries producer links (each event knows which events
+produced its inputs), so the operation-dependency DAG needs no workload
+cooperation.  This module derives the paper's Fig. 4 observations:
+
+* whether the symbolic phase *depends on* neural results (pipelined
+  Neuro|Symbolic systems: NVSA/VSAIT/PrAE) or the symbolic knowledge is
+  *compiled into* the neural structure (LNN/LTN/NLM/ZeroC);
+* the latency-weighted critical path through the DAG and which phase
+  dominates it;
+* a serialization measure — critical-path time over total time — low
+  parallelism being the paper's "complex control results in
+  inefficiency" point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.profiler import PHASE_NEURAL, PHASE_SYMBOLIC, Trace
+from repro.hwsim.device import DeviceSpec
+from repro.hwsim.latency import project_trace
+
+
+def build_graph(trace: Trace) -> "nx.DiGraph":
+    """The operation-dependency DAG: nodes are event ids; an edge
+    u -> v means v consumed a tensor produced by u."""
+    graph = nx.DiGraph()
+    for event in trace:
+        graph.add_node(event.eid, name=event.name, phase=event.phase,
+                       stage=event.stage, category=event.category.value)
+    for event in trace:
+        for parent in event.parents:
+            if graph.has_node(parent):
+                graph.add_edge(parent, event.eid)
+    return graph
+
+
+@dataclass
+class OpGraphReport:
+    """Fig. 4 summary for one workload."""
+
+    workload: str
+    num_nodes: int
+    num_edges: int
+    cross_phase_edges: int
+    symbolic_depends_on_neural: bool
+    neural_depends_on_symbolic: bool
+    critical_path_time: float
+    critical_path_length: int
+    critical_path_phase_times: Dict[str, float]
+    total_time: float
+    max_width: int
+
+    @property
+    def serialization(self) -> float:
+        """Critical-path time / total time (1.0 = fully serial)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.critical_path_time / self.total_time
+
+    @property
+    def symbolic_on_critical_path(self) -> float:
+        total = sum(self.critical_path_phase_times.values())
+        if total <= 0:
+            return 0.0
+        return self.critical_path_phase_times.get(PHASE_SYMBOLIC,
+                                                  0.0) / total
+
+
+def analyze_graph(trace: Trace, device: DeviceSpec) -> OpGraphReport:
+    """Build the DAG, weight it with projected latencies, and extract
+    the critical path and phase-dependency structure."""
+    graph = build_graph(trace)
+    projected = project_trace(trace, device)
+    latency: Dict[int, float] = {
+        cost.event.eid: cost.total for cost in projected.costs}
+    phase_of: Dict[int, str] = {e.eid: e.phase for e in trace}
+
+    cross = 0
+    sym_on_neural = False
+    neural_on_sym = False
+    for u, v in graph.edges():
+        pu, pv = phase_of.get(u, ""), phase_of.get(v, "")
+        if pu != pv:
+            cross += 1
+            if pu == PHASE_NEURAL and pv == PHASE_SYMBOLIC:
+                sym_on_neural = True
+            elif pu == PHASE_SYMBOLIC and pv == PHASE_NEURAL:
+                neural_on_sym = True
+
+    # longest (latency-weighted) path via one topological sweep
+    best_time: Dict[int, float] = {}
+    best_pred: Dict[int, Optional[int]] = {}
+    for node in nx.topological_sort(graph):
+        incoming = [(best_time[p], p) for p in graph.predecessors(node)
+                    if p in best_time]
+        base, pred = max(incoming, default=(0.0, None))
+        best_time[node] = base + latency.get(node, 0.0)
+        best_pred[node] = pred
+
+    if best_time:
+        end = max(best_time, key=best_time.get)
+        path: List[int] = []
+        cursor: Optional[int] = end
+        while cursor is not None:
+            path.append(cursor)
+            cursor = best_pred[cursor]
+        path.reverse()
+        cp_time = best_time[end]
+    else:
+        path, cp_time = [], 0.0
+
+    cp_phase_times: Dict[str, float] = {}
+    for node in path:
+        phase = phase_of.get(node, "")
+        cp_phase_times[phase] = cp_phase_times.get(phase, 0.0) \
+            + latency.get(node, 0.0)
+
+    # width: max antichain estimate via generation sizes
+    widths = [len(gen) for gen in nx.topological_generations(graph)]
+
+    return OpGraphReport(
+        workload=trace.workload,
+        num_nodes=graph.number_of_nodes(),
+        num_edges=graph.number_of_edges(),
+        cross_phase_edges=cross,
+        symbolic_depends_on_neural=sym_on_neural,
+        neural_depends_on_symbolic=neural_on_sym,
+        critical_path_time=cp_time,
+        critical_path_length=len(path),
+        critical_path_phase_times=cp_phase_times,
+        total_time=projected.total_time,
+        max_width=max(widths, default=0),
+    )

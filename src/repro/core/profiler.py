@@ -1,0 +1,225 @@
+"""Trace data model: the suite's equivalent of the PyTorch Profiler.
+
+The instrumented tensor runtime (:mod:`repro.tensor`) emits one
+:class:`TraceEvent` per executed operation.  A :class:`Trace` is the
+ordered collection of those events for one workload run, together with
+phase annotations (``neural`` / ``symbolic``) and fine-grained stage
+labels (e.g. ``rule_detection``).  All downstream analyses — latency
+breakdown, operator-category split, memory accounting, roofline
+placement, operation-graph extraction, sparsity — consume traces.
+
+This module deliberately has no dependency on the tensor runtime so it
+can be imported from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import OpCategory
+
+#: Phase labels used throughout the suite.
+PHASE_NEURAL = "neural"
+PHASE_SYMBOLIC = "symbolic"
+
+
+@dataclass
+class TraceEvent:
+    """A single executed tensor operation.
+
+    Attributes
+    ----------
+    eid:
+        Monotonically increasing event id, unique within one trace.
+    name:
+        Operation name as dispatched (``matmul``, ``conv2d``, ``add`` ...).
+    category:
+        One of the paper's six operator categories.
+    phase:
+        ``"neural"``, ``"symbolic"``, or ``""`` when untagged.
+    stage:
+        Fine-grained module label within a phase (e.g. ``pmf_to_vsa``).
+    flops:
+        Floating point operations performed (0 for pure data ops).
+    bytes_read / bytes_written:
+        Memory traffic in bytes, computed from actual array sizes.
+    input_shapes / output_shape:
+        Array shapes involved.
+    output_sparsity:
+        Fraction of zero elements in the output array (0.0 = dense).
+    wall_time:
+        Measured host wall-clock seconds spent in the numpy kernel.
+    parents:
+        Event ids of the operations that produced this op's inputs;
+        defines the operation-dependency DAG used by Fig. 4 analysis.
+    live_bytes:
+        Runtime-tracked live tensor bytes *after* this event, used by
+        the memory analysis (Fig. 3b).
+    """
+
+    eid: int
+    name: str
+    category: OpCategory
+    phase: str = ""
+    stage: str = ""
+    flops: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    input_shapes: Tuple[Tuple[int, ...], ...] = ()
+    output_shape: Tuple[int, ...] = ()
+    output_sparsity: float = 0.0
+    wall_time: float = 0.0
+    parents: Tuple[int, ...] = ()
+    live_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total memory traffic (read + written)."""
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def operational_intensity(self) -> float:
+        """FLOPs per byte of traffic; 0 when the op moves no data."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.flops / self.total_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent(eid={self.eid}, name={self.name!r}, "
+            f"category={self.category.value}, phase={self.phase!r}, "
+            f"flops={self.flops:.3g}, bytes={self.total_bytes})"
+        )
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceEvent` for one workload run."""
+
+    def __init__(self, workload: str = "", events: Optional[Iterable[TraceEvent]] = None):
+        self.workload = workload
+        self.events: List[TraceEvent] = list(events) if events is not None else []
+        #: free-form metadata recorded by workloads (task size, dims ...)
+        self.metadata: Dict[str, object] = {}
+
+    # -- collection protocol -------------------------------------------------
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, idx: int) -> TraceEvent:
+        return self.events[idx]
+
+    # -- selection helpers ---------------------------------------------------
+    def by_phase(self, phase: str) -> "Trace":
+        """Sub-trace containing only events of ``phase``."""
+        sub = Trace(self.workload, (e for e in self.events if e.phase == phase))
+        sub.metadata = dict(self.metadata)
+        return sub
+
+    def by_stage(self, stage: str) -> "Trace":
+        """Sub-trace containing only events of a fine-grained ``stage``."""
+        sub = Trace(self.workload, (e for e in self.events if e.stage == stage))
+        sub.metadata = dict(self.metadata)
+        return sub
+
+    def by_category(self, category: OpCategory) -> "Trace":
+        """Sub-trace containing only events of one operator category."""
+        sub = Trace(self.workload,
+                    (e for e in self.events if e.category is category))
+        sub.metadata = dict(self.metadata)
+        return sub
+
+    def phases(self) -> List[str]:
+        """Distinct phase labels in first-appearance order."""
+        seen: List[str] = []
+        for event in self.events:
+            if event.phase not in seen:
+                seen.append(event.phase)
+        return seen
+
+    def stages(self) -> List[str]:
+        """Distinct stage labels in first-appearance order."""
+        seen: List[str] = []
+        for event in self.events:
+            if event.stage and event.stage not in seen:
+                seen.append(event.stage)
+        return seen
+
+    # -- aggregate statistics ------------------------------------------------
+    @property
+    def total_flops(self) -> float:
+        return sum(e.flops for e in self.events)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(e.total_bytes for e in self.events)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(e.wall_time for e in self.events)
+
+    @property
+    def peak_live_bytes(self) -> int:
+        return max((e.live_bytes for e in self.events), default=0)
+
+    def flops_by_phase(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for event in self.events:
+            out[event.phase] = out.get(event.phase, 0.0) + event.flops
+        return out
+
+    def count_by_name(self) -> Dict[str, int]:
+        """Invocation counts per op name (function-level statistics)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.name] = out.get(event.name, 0) + 1
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """Compact headline statistics for reports."""
+        return {
+            "workload": self.workload,
+            "events": len(self.events),
+            "total_flops": self.total_flops,
+            "total_bytes": self.total_bytes,
+            "wall_time_s": self.total_wall_time,
+            "peak_live_bytes": self.peak_live_bytes,
+            "phases": self.phases(),
+        }
+
+
+def merge_traces(traces: Sequence[Trace], workload: str = "") -> Trace:
+    """Concatenate ``traces`` into one, renumbering event ids.
+
+    Parent links are remapped so the dependency DAG stays consistent.
+    """
+    merged = Trace(workload)
+    offset = 0
+    for trace in traces:
+        id_map = {e.eid: e.eid + offset for e in trace.events}
+        for event in trace.events:
+            merged.append(TraceEvent(
+                eid=id_map[event.eid],
+                name=event.name,
+                category=event.category,
+                phase=event.phase,
+                stage=event.stage,
+                flops=event.flops,
+                bytes_read=event.bytes_read,
+                bytes_written=event.bytes_written,
+                input_shapes=event.input_shapes,
+                output_shape=event.output_shape,
+                output_sparsity=event.output_sparsity,
+                wall_time=event.wall_time,
+                parents=tuple(id_map[p] for p in event.parents if p in id_map),
+                live_bytes=event.live_bytes,
+            ))
+        if trace.events:
+            offset = merged.events[-1].eid + 1
+    return merged

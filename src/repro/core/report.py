@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables and figure series.
+
+Benchmarks print through these helpers so every experiment produces
+the same row/column layout the paper reports, without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: str = "", precision: int = 2) -> str:
+    """Monospace table with column alignment."""
+    text_rows = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_bar(fraction: float, width: int = 30, fill: str = "#") -> str:
+    """ASCII bar for share plots: 0.5 -> '###############...'."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return fill * filled + "." * (width - filled)
+
+
+def render_shares(shares: Dict[str, float], width: int = 30,
+                  title: str = "") -> str:
+    """A labelled ASCII bar chart of fractional shares."""
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    label_width = max((len(k) for k in shares), default=0)
+    for label, fraction in shares.items():
+        bar = render_bar(fraction, width)
+        parts.append(f"{label.ljust(label_width)}  {bar} {fraction*100:5.1f}%")
+    return "\n".join(parts)
+
+
+def format_time(seconds: float) -> str:
+    """Human latency formatting: 0.0042 -> '4.20 ms'."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds*1e3:.2f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds*1e6:.2f} us"
+    return f"{seconds*1e9:.0f} ns"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human size formatting: 5767168 -> '5.50 MiB'."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.2f} {unit}" if unit != "B" \
+                else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.2f} GiB"  # pragma: no cover - unreachable

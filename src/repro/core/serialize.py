@@ -1,0 +1,95 @@
+"""Trace (de)serialization.
+
+Traces round-trip through a compact JSON format so characterization
+runs can be archived, diffed, and re-analyzed without re-executing the
+workload — the "comparable and validated" benchmarking the paper's
+outlook section calls for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.profiler import Trace, TraceEvent
+from repro.core.taxonomy import OpCategory
+
+#: bump when the on-disk layout changes
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> Dict:
+    """Serialize to plain JSON-safe structures."""
+    def safe_metadata(value):
+        try:
+            json.dumps(value)
+            return value
+        except (TypeError, ValueError):
+            return repr(value)
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "workload": trace.workload,
+        "metadata": {key: safe_metadata(val)
+                     for key, val in trace.metadata.items()},
+        "events": [
+            {
+                "eid": e.eid,
+                "name": e.name,
+                "category": e.category.value,
+                "phase": e.phase,
+                "stage": e.stage,
+                "flops": e.flops,
+                "bytes_read": e.bytes_read,
+                "bytes_written": e.bytes_written,
+                "input_shapes": [list(s) for s in e.input_shapes],
+                "output_shape": list(e.output_shape),
+                "output_sparsity": e.output_sparsity,
+                "wall_time": e.wall_time,
+                "parents": list(e.parents),
+                "live_bytes": e.live_bytes,
+            }
+            for e in trace
+        ],
+    }
+
+
+def trace_from_dict(payload: Dict) -> Trace:
+    """Inverse of :func:`trace_to_dict`."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported trace format version: {version!r}")
+    trace = Trace(payload.get("workload", ""))
+    trace.metadata = dict(payload.get("metadata", {}))
+    for raw in payload["events"]:
+        trace.append(TraceEvent(
+            eid=int(raw["eid"]),
+            name=raw["name"],
+            category=OpCategory(raw["category"]),
+            phase=raw.get("phase", ""),
+            stage=raw.get("stage", ""),
+            flops=float(raw.get("flops", 0.0)),
+            bytes_read=int(raw.get("bytes_read", 0)),
+            bytes_written=int(raw.get("bytes_written", 0)),
+            input_shapes=tuple(tuple(s)
+                               for s in raw.get("input_shapes", [])),
+            output_shape=tuple(raw.get("output_shape", [])),
+            output_sparsity=float(raw.get("output_sparsity", 0.0)),
+            wall_time=float(raw.get("wall_time", 0.0)),
+            parents=tuple(raw.get("parents", [])),
+            live_bytes=int(raw.get("live_bytes", 0)),
+        ))
+    return trace
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write a trace to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path: str) -> Trace:
+    """Read a trace from a JSON file."""
+    with open(path) as handle:
+        return trace_from_dict(json.load(handle))

@@ -1,0 +1,84 @@
+"""Structural trace validation.
+
+Sanity checks that every analysis relies on: monotone event ids,
+parent links pointing backwards, non-negative resource counters,
+phase/stage labels drawn from the expected vocabulary.  Benchmarks run
+these on freshly-collected traces so a broken workload fails loudly
+rather than producing quietly-wrong figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.profiler import Trace
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one trace."""
+
+    workload: str
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            raise ValueError(
+                f"trace for {self.workload!r} failed validation:\n  "
+                + "\n  ".join(self.errors))
+
+
+def validate_trace(trace: Trace,
+                   expected_phases: Optional[Sequence[str]] = None,
+                   require_flops: bool = True) -> ValidationResult:
+    """Run all structural checks on ``trace``."""
+    result = ValidationResult(workload=trace.workload)
+    err = result.errors.append
+
+    if not trace.events:
+        err("trace is empty")
+        return result
+
+    seen_ids = set()
+    previous = -1
+    for event in trace:
+        if event.eid in seen_ids:
+            err(f"duplicate event id {event.eid}")
+        seen_ids.add(event.eid)
+        if event.eid <= previous:
+            err(f"event ids not strictly increasing at {event.eid}")
+        previous = event.eid
+
+        for parent in event.parents:
+            if parent >= event.eid:
+                err(f"event {event.eid} has non-causal parent {parent}")
+            if parent not in seen_ids:
+                err(f"event {event.eid} has unknown parent {parent}")
+
+        if event.flops < 0:
+            err(f"event {event.eid} ({event.name}) has negative flops")
+        if event.bytes_read < 0 or event.bytes_written < 0:
+            err(f"event {event.eid} ({event.name}) has negative bytes")
+        if not (0.0 <= event.output_sparsity <= 1.0):
+            err(f"event {event.eid} sparsity out of range: "
+                f"{event.output_sparsity}")
+        if event.wall_time < 0:
+            err(f"event {event.eid} has negative wall time")
+        if event.live_bytes < 0:
+            err(f"event {event.eid} has negative live bytes")
+
+    if expected_phases is not None:
+        actual = set(p for p in trace.phases() if p)
+        missing = set(expected_phases) - actual
+        if missing:
+            err(f"missing expected phases: {sorted(missing)}")
+
+    if require_flops and trace.total_flops <= 0:
+        err("trace performed no floating-point work")
+
+    return result

@@ -1,0 +1,29 @@
+"""Synthetic dataset generators standing in for the paper's corpora
+(RAVEN, LUBM, UCI, GTA/Cityscapes, concept grids, family graphs)."""
+
+from repro.datasets import concepts, graphs, images, kb_gen, rpm, tabular
+from repro.datasets.concepts import (ConceptExample, Segment, concept_dataset,
+                                     concept_graph, instantiate_concept,
+                                     relation_of, render_segments)
+from repro.datasets.graphs import (FamilyTask, PathTask, SortTask,
+                                   generate_family, generate_path,
+                                   generate_sort)
+from repro.datasets.images import UnpairedImageBatch, unpaired_batch
+from repro.datasets.kb_gen import SmokersWorld, smokers_world, university_kb
+from repro.datasets.rpm import (ATTRIBUTES, Panel, RPMProblem, RuleSpec,
+                                generate_problem, render_candidates,
+                                render_panel, render_problem)
+from repro.datasets.tabular import TabularDataset, two_class_gaussian
+
+__all__ = [
+    "concepts", "graphs", "images", "kb_gen", "rpm", "tabular",
+    "ConceptExample", "Segment", "concept_dataset", "concept_graph",
+    "instantiate_concept", "relation_of", "render_segments",
+    "FamilyTask", "PathTask", "SortTask", "generate_family",
+    "generate_path", "generate_sort",
+    "UnpairedImageBatch", "unpaired_batch",
+    "SmokersWorld", "smokers_world", "university_kb",
+    "ATTRIBUTES", "Panel", "RPMProblem", "RuleSpec", "generate_problem",
+    "render_candidates", "render_panel", "render_problem",
+    "TabularDataset", "two_class_gaussian",
+]

@@ -1,0 +1,139 @@
+"""Relational-reasoning task generators for NLM.
+
+The paper's NLM workload runs on "family graph reasoning, sorting,
+path finding" tasks.  These generators emit the predicate tensors NLM
+consumes:
+
+* family trees — unary/binary predicate tensors (``is_male``,
+  ``parent``) with ground-truth derived relations (grandparent,
+  sibling, uncle) for checking;
+* sortable arrays — pairwise comparison tensors;
+* grid path-finding — adjacency tensors with source/target markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+
+@dataclass
+class FamilyTask:
+    """Predicate tensors for one family-graph instance.
+
+    ``unary``: (n, U) float — per-object properties.
+    ``binary``: (n, n, B) float — pairwise relations.
+    ``targets``: ground-truth derived relations for verification.
+    """
+
+    num_people: int
+    unary: np.ndarray
+    binary: np.ndarray
+    targets: Dict[str, np.ndarray]
+    graph: "nx.DiGraph"
+
+
+def generate_family(num_people: int = 20, seed: int = 0) -> FamilyTask:
+    """A random two-parent family forest with derived-relation targets."""
+    if num_people < 2:
+        raise ValueError("need at least 2 people")
+    rng = np.random.default_rng(seed)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_people))
+    is_male = rng.integers(0, 2, num_people).astype(np.float32)
+
+    # generation-ordered: person i's parents come from earlier indices
+    parent = np.zeros((num_people, num_people), dtype=np.float32)
+    for child in range(2, num_people):
+        if rng.random() < 0.8:
+            father_pool = [p for p in range(child) if is_male[p] > 0.5]
+            mother_pool = [p for p in range(child) if is_male[p] < 0.5]
+            if father_pool and mother_pool:
+                father = int(rng.choice(father_pool))
+                mother = int(rng.choice(mother_pool))
+                parent[father, child] = 1.0
+                parent[mother, child] = 1.0
+                graph.add_edge(father, child)
+                graph.add_edge(mother, child)
+
+    unary = np.stack([is_male, 1.0 - is_male], axis=1)
+    binary = parent[:, :, None]
+
+    # ground-truth derived relations
+    grandparent = np.clip(parent @ parent, 0, 1)
+    shares_parent = np.clip(parent.T @ parent, 0, 1)
+    np.fill_diagonal(shares_parent, 0.0)
+    sibling = shares_parent
+    uncle_aunt = np.clip(sibling @ parent, 0, 1)
+
+    return FamilyTask(
+        num_people=num_people, unary=unary, binary=binary,
+        targets={"grandparent": grandparent, "sibling": sibling,
+                 "uncle_aunt": uncle_aunt},
+        graph=graph,
+    )
+
+
+@dataclass
+class SortTask:
+    """Pairwise-comparison tensors for array sorting."""
+
+    length: int
+    values: np.ndarray            # (n,)
+    less_than: np.ndarray         # (n, n) binary predicate
+    target_rank: np.ndarray       # (n,) ground-truth rank of each element
+
+
+def generate_sort(length: int = 10, seed: int = 0) -> SortTask:
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(length).astype(np.float32)
+    less = (values[:, None] < values[None, :]).astype(np.float32)
+    rank = np.argsort(np.argsort(values)).astype(np.int64)
+    return SortTask(length=length, values=values, less_than=less,
+                    target_rank=rank)
+
+
+@dataclass
+class PathTask:
+    """Grid path-finding as adjacency + endpoint predicates."""
+
+    num_nodes: int
+    adjacency: np.ndarray          # (n, n)
+    source: int
+    target: int
+    shortest_path: List[int]
+
+
+def generate_path(grid: int = 4, seed: int = 0,
+                  drop_edges: float = 0.15) -> PathTask:
+    """A grid graph with random edge drops; guarantees connectivity
+    between the sampled endpoints (resampling drops if needed)."""
+    rng = np.random.default_rng(seed)
+    base = nx.grid_2d_graph(grid, grid)
+    nodes = sorted(base.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+
+    for _ in range(20):
+        graph = base.copy()
+        removable = [e for e in graph.edges()]
+        rng.shuffle(removable)
+        for edge in removable[: int(drop_edges * len(removable))]:
+            graph.remove_edge(*edge)
+        source, target = 0, n - 1
+        if nx.has_path(graph, nodes[source], nodes[target]):
+            break
+    else:  # pragma: no cover - fallback after 20 tries
+        graph = base
+
+    adjacency = np.zeros((n, n), dtype=np.float32)
+    for u, v in graph.edges():
+        adjacency[index[u], index[v]] = 1.0
+        adjacency[index[v], index[u]] = 1.0
+    path = [index[node] for node in
+            nx.shortest_path(graph, nodes[0], nodes[-1])]
+    return PathTask(num_nodes=n, adjacency=adjacency, source=0,
+                    target=n - 1, shortest_path=path)

@@ -1,0 +1,109 @@
+"""Knowledge-base generators (LUBM-like, smokers) for LNN and LTN.
+
+The paper profiles LNN on LUBM/TPTP-style theorem-proving benchmarks
+and LTN on relational datasets.  These generators emit the same kind of
+structures offline:
+
+* :func:`university_kb` — an LUBM-flavoured knowledge base (departments,
+  professors, students, courses, teaches/takes/advises facts) with
+  Horn rules deriving higher-level predicates;
+* :func:`smokers_axioms` — the classic smokers-and-friends fuzzy-logic
+  benchmark used throughout the LTN literature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.logic.fol import Atom, Constant, Predicate, Variable
+from repro.logic.kb import HornRule, KnowledgeBase
+
+
+def university_kb(num_departments: int = 2, professors_per_dept: int = 4,
+                  students_per_dept: int = 12, courses_per_dept: int = 6,
+                  seed: int = 0) -> KnowledgeBase:
+    """An LUBM-like university knowledge base with derivation rules.
+
+    Facts: ``professor/1``, ``student/1``, ``course/1``,
+    ``works_for/2``, ``member_of/2``, ``teaches/2``, ``takes/2``,
+    ``advises/2``.  Rules derive ``taught_by``, ``classmate``,
+    ``colleague`` and ``academic_contact``.
+    """
+    rng = np.random.default_rng(seed)
+    kb = KnowledgeBase()
+
+    for d in range(num_departments):
+        dept = f"dept{d}"
+        kb.add_fact("department", dept)
+        profs = [f"prof{d}_{i}" for i in range(professors_per_dept)]
+        studs = [f"stud{d}_{i}" for i in range(students_per_dept)]
+        crses = [f"course{d}_{i}" for i in range(courses_per_dept)]
+        for prof in profs:
+            kb.add_fact("professor", prof)
+            kb.add_fact("works_for", prof, dept)
+        for stud in studs:
+            kb.add_fact("student", stud)
+            kb.add_fact("member_of", stud, dept)
+            advisor = profs[int(rng.integers(0, len(profs)))]
+            kb.add_fact("advises", advisor, stud)
+        for i, course in enumerate(crses):
+            kb.add_fact("course", course)
+            teacher = profs[i % len(profs)]
+            kb.add_fact("teaches", teacher, course)
+            takers = rng.choice(len(studs),
+                                size=min(4, len(studs)), replace=False)
+            for t in takers:
+                kb.add_fact("takes", studs[int(t)], course)
+
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    teaches = Predicate("teaches", 2)
+    takes = Predicate("takes", 2)
+    works_for = Predicate("works_for", 2)
+    taught_by = Predicate("taught_by", 2)
+    classmate = Predicate("classmate", 2)
+    colleague = Predicate("colleague", 2)
+    contact = Predicate("academic_contact", 2)
+
+    kb.add_rule(HornRule(taught_by(x, y), (takes(x, z), teaches(y, z))))
+    kb.add_rule(HornRule(classmate(x, y), (takes(x, z), takes(y, z))))
+    kb.add_rule(HornRule(colleague(x, y), (works_for(x, z), works_for(y, z))))
+    kb.add_rule(HornRule(contact(x, y), (taught_by(x, y),)))
+    kb.add_rule(HornRule(contact(x, y), (classmate(x, y),)))
+    return kb
+
+
+@dataclass
+class SmokersWorld:
+    """Ground truth for the smokers benchmark: who smokes, who is
+    friends with whom, who (noisily) has cancer."""
+
+    num_people: int
+    smokes: np.ndarray         # (n,) in {0,1}
+    friends: np.ndarray        # (n, n) in {0,1}, symmetric
+    cancer: np.ndarray         # (n,) in {0,1}
+
+    @property
+    def people(self) -> List[str]:
+        return [f"p{i}" for i in range(self.num_people)]
+
+
+def smokers_world(num_people: int = 16, edge_prob: float = 0.25,
+                  seed: int = 0) -> SmokersWorld:
+    """Sample a smokers world: smoking clusters along friendships and
+    raises cancer probability (the LTN axiom set is *soft*ly true)."""
+    rng = np.random.default_rng(seed)
+    smokes = (rng.random(num_people) < 0.4).astype(np.float32)
+    friends = np.zeros((num_people, num_people), dtype=np.float32)
+    for i in range(num_people):
+        for j in range(i + 1, num_people):
+            prob = edge_prob + (0.35 if smokes[i] == smokes[j] else 0.0)
+            if rng.random() < prob:
+                friends[i, j] = friends[j, i] = 1.0
+    cancer = np.where(smokes > 0.5,
+                      (rng.random(num_people) < 0.7),
+                      (rng.random(num_people) < 0.1)).astype(np.float32)
+    return SmokersWorld(num_people=num_people, smokes=smokes,
+                        friends=friends, cancer=cancer)

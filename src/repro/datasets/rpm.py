@@ -1,0 +1,254 @@
+"""RAVEN-like Raven's Progressive Matrices generator.
+
+The paper evaluates NVSA and PrAE on RAVEN/I-RAVEN RPM tasks: an
+``n x n`` matrix of panels whose attributes evolve row-wise under
+hidden rules; the bottom-right panel is missing and must be picked from
+candidate answers.  This generator emits the same structure
+synthetically (the substitution DESIGN.md documents):
+
+* single-object ("center") panels with three attributes —
+  ``shape`` (5 values), ``size`` (6), ``color`` (10);
+* per-attribute rules: ``constant``, ``progression`` (+/- step),
+  ``arithmetic`` (last = first +/- second, 3x3 only),
+  ``distribute_three`` (a permutation of n values across each row);
+* rendered 32x32 grayscale panel images for the neural frontend;
+* 8 candidate answers (the correct one plus 7 attribute-perturbed
+  distractors, I-RAVEN style).
+
+Task size scales as in Fig. 2c: ``matrix_size=2`` gives 2x2 matrices,
+``matrix_size=3`` the standard 3x3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: attribute domains (name -> cardinality), RAVEN-like
+ATTRIBUTES: Dict[str, int] = {"shape": 5, "size": 6, "color": 10}
+
+RULES = ("constant", "progression", "arithmetic", "distribute_three")
+
+SHAPE_NAMES = ("triangle", "square", "pentagon", "hexagon", "circle")
+
+
+@dataclass(frozen=True)
+class Panel:
+    """A single RPM panel: one centered object with three attributes."""
+
+    shape: int
+    size: int
+    color: int
+
+    def attribute(self, name: str) -> int:
+        return getattr(self, name)
+
+    def as_tuple(self) -> Tuple[int, int, int]:
+        return (self.shape, self.size, self.color)
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One governing rule for one attribute.
+
+    ``orientation`` is ``"row"`` (RAVEN-style) or ``"col"`` (PGM
+    applies rules along rows *or* columns; solvers must detect which).
+    """
+
+    attribute: str
+    name: str            # one of RULES
+    parameter: int = 0   # step for progression; sign for arithmetic
+    orientation: str = "row"
+
+    def __str__(self) -> str:
+        suffix = "" if self.orientation == "row" else " [col]"
+        if self.name == "progression":
+            return (f"{self.attribute}: progression"
+                    f"({self.parameter:+d}){suffix}")
+        if self.name == "arithmetic":
+            sign = "+" if self.parameter >= 0 else "-"
+            return f"{self.attribute}: arithmetic({sign}){suffix}"
+        return f"{self.attribute}: {self.name}{suffix}"
+
+
+@dataclass
+class RPMProblem:
+    """A complete RPM instance."""
+
+    matrix_size: int
+    context: List[List[Panel]]          # matrix_size rows; last row lacks 1
+    answer: Panel
+    candidates: List[Panel]             # includes the answer
+    answer_index: int
+    rules: Dict[str, RuleSpec]
+
+    @property
+    def num_context_panels(self) -> int:
+        return self.matrix_size * self.matrix_size - 1
+
+    def context_flat(self) -> List[Panel]:
+        """All given panels, row-major (the final missing one excluded)."""
+        out: List[Panel] = []
+        for row in self.context:
+            out.extend(row)
+        return out
+
+
+def _row_values(rule: RuleSpec, start: int, n: int, domain: int,
+                rng: np.random.Generator) -> List[int]:
+    """Attribute values along one row under ``rule``."""
+    if rule.name == "constant":
+        return [start] * n
+    if rule.name == "progression":
+        return [(start + i * rule.parameter) % domain for i in range(n)]
+    if rule.name == "arithmetic":
+        if n < 3:
+            # degrades to progression on tiny matrices
+            return [(start + i) % domain for i in range(n)]
+        second = int(rng.integers(0, domain))
+        third = (start + rule.parameter * second) % domain
+        row = [start, second, third]
+        row += [(third + rule.parameter * second) % domain
+                for _ in range(n - 3)]
+        return row[:n]
+    if rule.name == "distribute_three":
+        values = list(rng.choice(domain, size=n, replace=False)) if domain >= n \
+            else [int(rng.integers(0, domain)) for _ in range(n)]
+        return [int(v) for v in values]
+    raise ValueError(f"unknown rule: {rule.name!r}")
+
+
+def generate_problem(matrix_size: int = 3, seed: int = 0,
+                     rules: Optional[Dict[str, str]] = None,
+                     orientation_mode: str = "row") -> RPMProblem:
+    """Generate one RPM problem.
+
+    ``rules`` optionally pins the rule name per attribute; otherwise
+    rules are sampled uniformly (arithmetic only at size >= 3).
+    ``orientation_mode``: ``"row"`` applies every rule along rows
+    (RAVEN-style); ``"mixed"`` samples a row/column orientation per
+    attribute (PGM-style — the solver must detect the orientation).
+    """
+    if matrix_size < 2:
+        raise ValueError("matrix_size must be >= 2")
+    if orientation_mode not in ("row", "mixed"):
+        raise ValueError(f"unknown orientation mode {orientation_mode!r}")
+    rng = np.random.default_rng(seed)
+    chosen: Dict[str, RuleSpec] = {}
+    for attr, domain in ATTRIBUTES.items():
+        if rules and attr in rules:
+            name = rules[attr]
+        else:
+            pool = [r for r in RULES
+                    if matrix_size >= 3 or r != "arithmetic"]
+            name = str(rng.choice(pool))
+        if name == "progression":
+            parameter = int(rng.choice([-2, -1, 1, 2]))
+        elif name == "arithmetic":
+            parameter = int(rng.choice([-1, 1]))
+        else:
+            parameter = 0
+        orientation = "row"
+        if orientation_mode == "mixed":
+            orientation = "row" if rng.random() < 0.5 else "col"
+        chosen[attr] = RuleSpec(attr, name, parameter, orientation)
+
+    # build the value grid per attribute: every line (row, or column
+    # for col-oriented rules) obeys the rule
+    grids: Dict[str, List[List[int]]] = {}
+    for attr, domain in ATTRIBUTES.items():
+        rule = chosen[attr]
+        grid = []
+        # distribute_three shares its value set across lines (permuted)
+        shared: Optional[List[int]] = None
+        for _ in range(matrix_size):
+            start = int(rng.integers(0, domain))
+            if rule.name == "distribute_three":
+                if shared is None:
+                    shared = _row_values(rule, start, matrix_size, domain, rng)
+                row = list(rng.permutation(shared))
+                row = [int(v) for v in row]
+            else:
+                row = _row_values(rule, start, matrix_size, domain, rng)
+            grid.append(row)
+        if rule.orientation == "col":
+            # lines were generated as columns: transpose into row-major
+            grid = [list(col) for col in zip(*grid)]
+        grids[attr] = grid
+
+    panels = [[Panel(grids["shape"][r][c], grids["size"][r][c],
+                     grids["color"][r][c])
+               for c in range(matrix_size)] for r in range(matrix_size)]
+    answer = panels[-1][-1]
+    context = [list(row) for row in panels]
+    context[-1] = context[-1][:-1]
+
+    candidates = [answer]
+    seen = {answer.as_tuple()}
+    while len(candidates) < 8:
+        base = answer.as_tuple()
+        attr_idx = int(rng.integers(0, 3))
+        domain = list(ATTRIBUTES.values())[attr_idx]
+        perturbed = list(base)
+        perturbed[attr_idx] = int(
+            (perturbed[attr_idx] + rng.integers(1, domain)) % domain)
+        candidate = Panel(*perturbed)
+        if candidate.as_tuple() not in seen:
+            seen.add(candidate.as_tuple())
+            candidates.append(candidate)
+    order = rng.permutation(len(candidates))
+    shuffled = [candidates[i] for i in order]
+    answer_index = int(np.argwhere(order == 0)[0][0])
+
+    return RPMProblem(matrix_size=matrix_size, context=context,
+                      answer=answer, candidates=shuffled,
+                      answer_index=answer_index, rules=chosen)
+
+
+# ---------------------------------------------------------------------------
+# rendering (for the neural perception frontend)
+# ---------------------------------------------------------------------------
+
+def render_panel(panel: Panel, resolution: int = 32) -> np.ndarray:
+    """Rasterize a panel to a (1, resolution, resolution) float image.
+
+    The object is a filled regular polygon (or disc) centered in the
+    panel; ``size`` scales its radius and ``color`` its intensity.
+    """
+    yy, xx = np.mgrid[0:resolution, 0:resolution].astype(np.float32)
+    cx = cy = (resolution - 1) / 2.0
+    radius = resolution * (0.15 + 0.05 * panel.size)
+    intensity = 0.3 + 0.07 * panel.color
+
+    dx, dy = xx - cx, yy - cy
+    dist = np.sqrt(dx * dx + dy * dy)
+    if panel.shape == 4:  # circle
+        mask = dist <= radius
+    else:
+        n_sides = panel.shape + 3  # triangle..hexagon
+        angle = np.arctan2(dy, dx)
+        # distance to the polygon edge for a regular n-gon
+        sector = np.pi / n_sides
+        local = np.mod(angle, 2 * sector) - sector
+        poly_radius = radius * np.cos(sector) / np.maximum(
+            np.cos(local), 1e-6)
+        mask = dist <= poly_radius
+    image = np.zeros((1, resolution, resolution), dtype=np.float32)
+    image[0][mask] = intensity
+    return image
+
+
+def render_problem(problem: RPMProblem,
+                   resolution: int = 32) -> np.ndarray:
+    """Render all context panels: (num_panels, 1, R, R)."""
+    imgs = [render_panel(p, resolution) for p in problem.context_flat()]
+    return np.stack(imgs, axis=0)
+
+
+def render_candidates(problem: RPMProblem,
+                      resolution: int = 32) -> np.ndarray:
+    """Render the 8 candidate panels: (8, 1, R, R)."""
+    imgs = [render_panel(p, resolution) for p in problem.candidates]
+    return np.stack(imgs, axis=0)

@@ -1,0 +1,200 @@
+"""Set-associative cache simulator.
+
+Drives the Table IV hardware-inefficiency analysis: kernel archetypes
+(:mod:`repro.hwsim.kernels`) generate address streams which are
+replayed through a two-level hierarchy modeled after the RTX 2080 Ti:
+
+* L1: write-through, no write-allocate (NVIDIA-style) — writes always
+  propagate to L2 and do not install lines on a write miss.
+* L2: write-back, write-allocate, LRU.
+
+The simulator reports hits/misses per level and the resulting DRAM
+traffic, from which the inefficiency analysis derives hit rates and
+bandwidth utilization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hwsim.device import CacheSpec
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return (self.read_hits + self.read_misses
+                + self.write_hits + self.write_misses)
+
+    @property
+    def hits(self) -> int:
+        return self.read_hits + self.write_hits
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class SetAssociativeCache:
+    """LRU set-associative cache over line addresses."""
+
+    def __init__(self, spec: CacheSpec, write_through: bool = False,
+                 write_allocate: bool = True):
+        self.spec = spec
+        self.write_through = write_through
+        self.write_allocate = write_allocate
+        self.num_sets = spec.num_sets
+        # each set: ordered dict replacement via list of (tag, dirty)
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def _locate(self, line_addr: int) -> Tuple[int, int]:
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def access(self, line_addr: int, write: bool) -> bool:
+        """Access one line; returns True on hit.
+
+        On a miss with allocation, the LRU line is evicted (a dirty
+        eviction increments ``writebacks``).
+        """
+        set_idx, tag = self._locate(line_addr)
+        cache_set = self._sets[set_idx]
+        if tag in cache_set:
+            # LRU bump: move to the end
+            dirty = cache_set.pop(tag)
+            cache_set[tag] = dirty or (write and not self.write_through)
+            if write:
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+            return True
+
+        if write:
+            self.stats.write_misses += 1
+            if not self.write_allocate:
+                return False
+        else:
+            self.stats.read_misses += 1
+
+        if len(cache_set) >= self.spec.associativity:
+            victim_tag = next(iter(cache_set))
+            dirty = cache_set.pop(victim_tag)
+            if dirty:
+                self.stats.writebacks += 1
+        cache_set[tag] = write and not self.write_through
+        return False
+
+    def flush(self) -> int:
+        """Write back all dirty lines; returns the number written back."""
+        flushed = 0
+        for cache_set in self._sets:
+            for tag, dirty in cache_set.items():
+                if dirty:
+                    flushed += 1
+            cache_set.clear()
+        self.stats.writebacks += flushed
+        return flushed
+
+
+@dataclass
+class HierarchyStats:
+    """Traffic summary from a two-level replay."""
+
+    l1: CacheStats
+    l2: CacheStats
+    dram_read_lines: int
+    dram_write_lines: int
+    line_size: int
+
+    @property
+    def dram_bytes(self) -> int:
+        return (self.dram_read_lines + self.dram_write_lines) * self.line_size
+
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1.accesses * self.line_size
+
+    @property
+    def l2_bytes(self) -> int:
+        return self.l2.accesses * self.line_size
+
+
+class CacheHierarchy:
+    """L1 (write-through, no-write-allocate) backed by L2 (write-back)."""
+
+    def __init__(self, l1_spec: CacheSpec, l2_spec: CacheSpec):
+        if l2_spec.line_size != l1_spec.line_size:
+            raise ValueError("L1 and L2 must share a line size in this model")
+        self.l1 = SetAssociativeCache(l1_spec, write_through=True,
+                                      write_allocate=False)
+        self.l2 = SetAssociativeCache(l2_spec, write_through=False,
+                                      write_allocate=True)
+        self.line_size = l1_spec.line_size
+        self.dram_read_lines = 0
+        self.dram_write_lines = 0
+
+    def access(self, line_addr: int, write: bool) -> None:
+        l1_hit = self.l1.access(line_addr, write)
+        if write:
+            # write-through L1: the write always reaches L2
+            l2_hit = self.l2.access(line_addr, write=True)
+            if not l2_hit:
+                # L2 write-allocate: fetch the line from DRAM
+                self.dram_read_lines += 1
+            self.dram_write_lines += self._drain_writebacks()
+        elif not l1_hit:
+            l2_hit = self.l2.access(line_addr, write=False)
+            if not l2_hit:
+                self.dram_read_lines += 1
+            self.dram_write_lines += self._drain_writebacks()
+
+    def _drain_writebacks(self) -> int:
+        count = self.l2.stats.writebacks
+        self.l2.stats.writebacks = 0
+        return count
+
+    def replay(self, line_addrs: np.ndarray, writes: np.ndarray) -> None:
+        """Replay a whole stream (parallel arrays of address, is_write)."""
+        if line_addrs.shape != writes.shape:
+            raise ValueError("address and write flags must align")
+        for addr, is_write in zip(line_addrs.tolist(), writes.tolist()):
+            self.access(int(addr), bool(is_write))
+
+    def warm(self, line_addrs: np.ndarray) -> None:
+        """Pre-install lines into both levels without counting stats.
+
+        Models inter-kernel data reuse: e.g. an activation kernel that
+        consumes a GEMM output still resident in L2.
+        """
+        saved_l1, saved_l2 = self.l1.stats, self.l2.stats
+        self.l1.stats, self.l2.stats = CacheStats(), CacheStats()
+        saved_reads, saved_writes = self.dram_read_lines, self.dram_write_lines
+        for addr in line_addrs.tolist():
+            self.access(int(addr), write=False)
+        self.l1.stats, self.l2.stats = saved_l1, saved_l2
+        self.dram_read_lines, self.dram_write_lines = saved_reads, saved_writes
+
+    def stats(self) -> HierarchyStats:
+        return HierarchyStats(
+            l1=self.l1.stats, l2=self.l2.stats,
+            dram_read_lines=self.dram_read_lines,
+            dram_write_lines=self.dram_write_lines,
+            line_size=self.line_size,
+        )

@@ -1,0 +1,86 @@
+"""Energy modeling.
+
+The paper quotes TDPs (RTX 2080 Ti 250 W, Xavier NX 20 W, Jetson TX2
+15 W) — edge deployment trades latency for power.  This module turns
+latency projections into energy estimates with a simple two-component
+model:
+
+    E = P_static * t_total + P_dynamic_peak * sum_i (u_i * t_i),
+
+where static power is a fixed fraction of TDP, dynamic power scales
+with each event's achieved utilization (achieved FLOP rate over peak
+for compute-bound events; achieved bandwidth over peak for
+memory-bound ones).  Absolute joules are rough; the *ratios* —
+edge SoCs spending less energy per inference despite being slower —
+are the modeled claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.profiler import Trace
+from repro.hwsim.device import DeviceSpec
+from repro.hwsim.latency import project_trace
+
+#: fraction of TDP drawn at idle
+STATIC_FRACTION = 0.30
+#: dynamic headroom (TDP minus static)
+DYNAMIC_FRACTION = 1.0 - STATIC_FRACTION
+
+
+@dataclass
+class EnergyReport:
+    """Energy estimate for one trace on one device."""
+
+    device: str
+    total_time: float
+    static_energy: float
+    dynamic_energy: float
+    energy_by_phase: Dict[str, float]
+
+    @property
+    def total_energy(self) -> float:
+        return self.static_energy + self.dynamic_energy
+
+    @property
+    def average_power(self) -> float:
+        return self.total_energy / self.total_time if self.total_time \
+            else 0.0
+
+
+def estimate_energy(trace: Trace, device: DeviceSpec) -> EnergyReport:
+    """Project ``trace`` and integrate the power model."""
+    if device.tdp_watts <= 0:
+        raise ValueError(f"device {device.name} has no TDP configured")
+    projected = project_trace(trace, device)
+    static_power = STATIC_FRACTION * device.tdp_watts
+    dynamic_peak = DYNAMIC_FRACTION * device.tdp_watts
+
+    dynamic = 0.0
+    by_phase: Dict[str, float] = {}
+    for cost in projected.costs:
+        event = cost.event
+        duration = cost.total
+        if duration <= 0:
+            continue
+        if cost.bound == "compute":
+            utilization = min(1.0, cost.achieved_flops_rate
+                              / device.peak_flops)
+        else:
+            achieved_bw = event.total_bytes / duration
+            utilization = min(1.0, achieved_bw / device.dram_bandwidth)
+        event_energy = (static_power + dynamic_peak * utilization) \
+            * duration
+        dynamic += dynamic_peak * utilization * duration
+        by_phase[event.phase] = by_phase.get(event.phase, 0.0) \
+            + event_energy
+
+    return EnergyReport(
+        device=device.name,
+        total_time=projected.total_time,
+        static_energy=static_power * projected.total_time,
+        dynamic_energy=dynamic,
+        energy_by_phase=by_phase,
+    )

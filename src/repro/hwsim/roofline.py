@@ -1,0 +1,94 @@
+"""Roofline-model utilities (Fig. 3c).
+
+The roofline bounds attainable FLOP/s by
+``min(peak, OI * bandwidth)`` where OI is operational intensity
+(FLOP per byte of DRAM traffic).  This module places trace components
+on a device's roofline and classifies them compute- vs memory-bound —
+the paper's Takeaway 4 is that symbolic components sit under the
+bandwidth roof while neural components sit under the compute roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.profiler import Trace
+from repro.hwsim.device import DeviceSpec
+from repro.hwsim.latency import project_trace
+
+
+@dataclass
+class RooflinePoint:
+    """One component placed on the roofline."""
+
+    label: str
+    operational_intensity: float   # FLOP / DRAM byte
+    achieved_flops: float          # FLOP/s under the latency projection
+    attainable_flops: float        # roofline bound at this OI
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.operational_intensity >= self._ridge else "memory"
+
+    # set by roofline_points(); kept as attribute to avoid re-deriving
+    _ridge: float = 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / attainable (<= 1 under a consistent projection)."""
+        if self.attainable_flops <= 0:
+            return 0.0
+        return self.achieved_flops / self.attainable_flops
+
+
+def roofline_curve(device: DeviceSpec,
+                   oi_range: Tuple[float, float] = (1e-2, 1e3),
+                   points: int = 64) -> List[Tuple[float, float]]:
+    """Sampled (OI, attainable FLOP/s) pairs for plotting the roof."""
+    ois = np.logspace(np.log10(oi_range[0]), np.log10(oi_range[1]), points)
+    return [(float(oi), device.attainable_flops(float(oi))) for oi in ois]
+
+
+def roofline_points(trace: Trace, device: DeviceSpec,
+                    group_by: str = "phase") -> List[RooflinePoint]:
+    """Aggregate a trace into roofline points.
+
+    ``group_by``: ``"phase"`` (neural/symbolic — the Fig. 3c view),
+    ``"stage"``, or ``"category"``.
+    """
+    projected = project_trace(trace, device)
+    groups: Dict[str, Dict[str, float]] = {}
+    for cost in projected.costs:
+        event = cost.event
+        if group_by == "phase":
+            key = event.phase or "<untagged>"
+        elif group_by == "stage":
+            key = event.stage or "<untagged>"
+        elif group_by == "category":
+            key = event.category.value
+        else:
+            raise ValueError(f"unknown group_by: {group_by!r}")
+        bucket = groups.setdefault(key, {"flops": 0.0, "bytes": 0.0,
+                                         "time": 0.0})
+        bucket["flops"] += event.flops
+        bucket["bytes"] += event.total_bytes
+        bucket["time"] += cost.total
+
+    out: List[RooflinePoint] = []
+    for label, bucket in groups.items():
+        if bucket["bytes"] <= 0 or bucket["time"] <= 0:
+            continue
+        oi = bucket["flops"] / bucket["bytes"]
+        achieved = bucket["flops"] / bucket["time"]
+        point = RooflinePoint(
+            label=label,
+            operational_intensity=oi,
+            achieved_flops=achieved,
+            attainable_flops=device.attainable_flops(oi),
+        )
+        point._ridge = device.ridge_point
+        out.append(point)
+    return out

@@ -1,0 +1,20 @@
+"""Symbolic-logic substrate: fuzzy semantics, FOL syntax, truth bounds,
+and a ground Horn-rule knowledge base."""
+
+from repro.logic import bounds, fol, fuzzy, kb, lnn_engine
+from repro.logic.bounds import Bounds
+from repro.logic.fol import (And, Atom, Constant, Exists, ForAll, Formula,
+                             Implies, Not, Or, Predicate, Variable,
+                             count_connectives)
+from repro.logic.kb import ChainStats, HornRule, KnowledgeBase
+from repro.logic.lnn_engine import (FormulaNeuronNetwork, InferenceStats,
+                                    proposition, prove)
+
+__all__ = [
+    "bounds", "fol", "fuzzy", "kb", "lnn_engine",
+    "Bounds",
+    "And", "Atom", "Constant", "Exists", "ForAll", "Formula", "Implies",
+    "Not", "Or", "Predicate", "Variable", "count_connectives",
+    "ChainStats", "HornRule", "KnowledgeBase",
+    "FormulaNeuronNetwork", "InferenceStats", "proposition", "prove",
+]

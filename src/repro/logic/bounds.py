@@ -1,0 +1,166 @@
+"""Truth-bound arithmetic for Logical Neural Networks.
+
+LNN represents the truth of every formula as an interval ``[L, U]``
+within ``[0, 1]`` rather than a point value — "improved tolerance to
+incomplete knowledge via truth bounds" (paper Sec. III-B).  Bounds are
+propagated *upward* (from subformulas to formulas, ordinary fuzzy
+evaluation on both endpoints) and *downward* (from a formula to its
+subformulas, via the inverse of the Lukasiewicz connectives), giving
+LNN its characteristic bidirectional dataflow.
+
+All functions are vectorized over numpy arrays so a whole batch of
+groundings propagates at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class Bounds:
+    """A truth interval [lower, upper], elementwise over an array."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=np.float64)
+        self.upper = np.asarray(self.upper, dtype=np.float64)
+
+    @classmethod
+    def unknown(cls, shape: Tuple[int, ...] = ()) -> "Bounds":
+        """Completely agnostic bounds [0, 1]."""
+        return cls(np.zeros(shape), np.ones(shape))
+
+    @classmethod
+    def exactly(cls, value: object) -> "Bounds":
+        arr = np.asarray(value, dtype=np.float64)
+        return cls(arr.copy(), arr.copy())
+
+    @property
+    def is_contradictory(self) -> np.ndarray:
+        """True where lower exceeds upper (inconsistent knowledge)."""
+        return self.lower > self.upper + 1e-9
+
+    @property
+    def width(self) -> np.ndarray:
+        """Uncertainty: upper - lower (0 = fully determined)."""
+        return self.upper - self.lower
+
+    def tighten(self, other: "Bounds") -> "Bounds":
+        """Intersect two bound estimates for the same proposition."""
+        return Bounds(np.maximum(self.lower, other.lower),
+                      np.minimum(self.upper, other.upper))
+
+    def clip(self) -> "Bounds":
+        return Bounds(np.clip(self.lower, 0.0, 1.0),
+                      np.clip(self.upper, 0.0, 1.0))
+
+    def copy(self) -> "Bounds":
+        return Bounds(self.lower.copy(), self.upper.copy())
+
+
+# ---------------------------------------------------------------------------
+# upward propagation (Lukasiewicz on both endpoints; monotonicity makes
+# lower/upper map to lower/upper, with negation swapping them)
+# ---------------------------------------------------------------------------
+
+def not_up(a: Bounds) -> Bounds:
+    return Bounds(1.0 - a.upper, 1.0 - a.lower)
+
+
+def and_up(a: Bounds, b: Bounds) -> Bounds:
+    return Bounds(np.maximum(0.0, a.lower + b.lower - 1.0),
+                  np.maximum(0.0, a.upper + b.upper - 1.0))
+
+
+def or_up(a: Bounds, b: Bounds) -> Bounds:
+    return Bounds(np.minimum(1.0, a.lower + b.lower),
+                  np.minimum(1.0, a.upper + b.upper))
+
+
+def implies_up(a: Bounds, b: Bounds) -> Bounds:
+    # antecedent is antitone: its upper bound drives the result's lower
+    return Bounds(np.minimum(1.0, 1.0 - a.upper + b.lower),
+                  np.minimum(1.0, 1.0 - a.lower + b.upper))
+
+
+# ---------------------------------------------------------------------------
+# downward propagation (functional inverses of the Lukasiewicz ops):
+# given bounds on the result and on one operand, infer the other operand
+# ---------------------------------------------------------------------------
+
+def not_down(result: Bounds) -> Bounds:
+    """From bounds on ~A, infer bounds on A."""
+    return Bounds(1.0 - result.upper, 1.0 - result.lower)
+
+
+def and_down(result: Bounds, other: Bounds) -> Bounds:
+    """From bounds on A&B and on B, infer bounds on A.
+
+    Lukasiewicz: A&B = max(0, A+B-1).
+    * result >= L with L > 0 means the max is not saturated at 0, so
+      A + B - 1 >= L  =>  A >= L + 1 - B.upper; L == 0 constrains
+      nothing (the conjunction is >= 0 vacuously).
+    * result <= U constrains A from above only when it can bite:
+      A <= U + 1 - B.lower (informative when U < B.lower).
+    """
+    lower = np.where(result.lower > 0.0,
+                     np.maximum(0.0, result.lower + 1.0 - other.upper),
+                     0.0)
+    upper = np.where(result.upper < other.lower,
+                     np.minimum(1.0, result.upper + 1.0 - other.lower),
+                     1.0)
+    return Bounds(lower, upper)
+
+
+def or_down(result: Bounds, other: Bounds) -> Bounds:
+    """From bounds on A|B and on B, infer bounds on A.
+
+    Lukasiewicz: A|B = min(1, A+B).
+    * result >= L  =>  A >= L - B.upper;
+    * result <= U with U < 1 means the min is not saturated, so
+      A + B <= U  =>  A <= U - B.lower; U == 1 constrains nothing.
+    """
+    lower = np.maximum(0.0, result.lower - other.upper)
+    upper = np.where(result.upper < 1.0,
+                     np.clip(result.upper - other.lower, 0.0, 1.0),
+                     1.0)
+    return Bounds(lower, upper)
+
+
+def implies_down_antecedent(result: Bounds, consequent: Bounds) -> Bounds:
+    """From bounds on A->B and on B, infer bounds on A (modus tollens).
+
+    A -> B = min(1, 1 - A + B):
+    * result >= L  =>  A <= 1 - L + B.upper;
+    * result <= U with U < 1 means the min is not saturated, so
+      1 - A + B <= U  =>  A >= 1 - U + B.lower; when U == 1 the
+      implication gives no lower bound on A (A <= B satisfies it with
+      A = 0).
+    """
+    upper = np.minimum(1.0, 1.0 - result.lower + consequent.upper)
+    lower = np.where(result.upper < 1.0,
+                     np.maximum(0.0, 1.0 - result.upper
+                                + consequent.lower),
+                     0.0)
+    return Bounds(lower, upper)
+
+
+def implies_down_consequent(result: Bounds, antecedent: Bounds) -> Bounds:
+    """From bounds on A->B and on A, infer bounds on B (modus ponens).
+
+    * result >= L and A >= a  =>  B >= L + a - 1;
+    * result <= U with U < 1  =>  1 - A + B <= U
+      =>  B <= U - 1 + A.upper.
+    """
+    lower = np.maximum(0.0, result.lower + antecedent.lower - 1.0)
+    upper = np.where(result.upper < 1.0,
+                     np.maximum(0.0, result.upper - 1.0
+                                + antecedent.upper),
+                     1.0)
+    return Bounds(lower, np.clip(upper, 0.0, 1.0))

@@ -1,0 +1,196 @@
+"""First-order-logic abstract syntax.
+
+A small, immutable FOL AST shared by the logic-centric workloads:
+
+* LTN grounds formulas onto tensors (fuzzy semantics, real-valued);
+* LNN compiles formulas into a neuron graph with truth bounds;
+* the knowledge-base engine (:mod:`repro.logic.kb`) evaluates ground
+  Horn rules over fact stores.
+
+Formulas are built with ordinary constructors or operator sugar::
+
+    x = Variable("x")
+    smokes, cancer = Predicate("smokes", 1), Predicate("cancer", 1)
+    f = ForAll(x, Implies(smokes(x), cancer(x)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logical variable (to be bound by a quantifier)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A named individual of the domain."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Term = Union[Variable, Constant]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A predicate symbol with fixed arity; call it to build an Atom."""
+
+    name: str
+    arity: int
+
+    def __call__(self, *terms: Term) -> "Atom":
+        if len(terms) != self.arity:
+            raise ValueError(
+                f"predicate {self.name}/{self.arity} applied to "
+                f"{len(terms)} terms")
+        return Atom(self, tuple(terms))
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Formula:
+    """Base class for formulas; provides connective operator sugar."""
+
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Implies":
+        return Implies(self, other)
+
+    # subclasses set these
+    def children(self) -> Tuple["Formula", ...]:
+        return ()
+
+    def free_variables(self) -> frozenset:
+        out: set = set()
+        for child in self.children():
+            out |= child.free_variables()
+        return frozenset(out)
+
+    def subformulas(self) -> Iterator["Formula"]:
+        """Yield this formula and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def depth(self) -> int:
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.depth() for child in kids)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An applied predicate: ``P(t1, ..., tn)``."""
+
+    predicate: Predicate
+    terms: Tuple[Term, ...]
+
+    def free_variables(self) -> frozenset:
+        return frozenset(t for t in self.terms if isinstance(t, Variable))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate.name}({args})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"~{self.operand}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    variable: Variable
+    body: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"forall {self.variable}. {self.body}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    variable: Variable
+    body: Formula
+
+    def children(self) -> Tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_variables(self) -> frozenset:
+        return self.body.free_variables() - {self.variable}
+
+    def __str__(self) -> str:
+        return f"exists {self.variable}. {self.body}"
+
+
+def count_connectives(formula: Formula) -> int:
+    """Number of non-atom nodes (a proxy for compiled network size)."""
+    return sum(1 for f in formula.subformulas() if not isinstance(f, Atom))

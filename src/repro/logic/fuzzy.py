@@ -1,0 +1,96 @@
+"""Fuzzy-logic semantics: t-norms, t-conorms, residual implications.
+
+Truth degrees live in ``[0, 1]``.  Three standard families are
+implemented — the ones used by LTN (product/`pmean` aggregations) and
+LNN (Lukasiewicz, whose connectives a logical neuron's weighted
+activation emulates):
+
+* ``lukasiewicz``:  AND(a,b) = max(0, a+b-1); OR(a,b) = min(1, a+b)
+* ``goedel``:       AND = min;                OR = max
+* ``product``:      AND = a*b;                OR = a + b - a*b
+
+All functions operate on numpy arrays (broadcasting applies) and are
+pure: instrumentation happens at the :mod:`repro.tensor.ops` layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+BinaryFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+LUKASIEWICZ = "lukasiewicz"
+GOEDEL = "goedel"
+PRODUCT = "product"
+
+_T_NORMS: Dict[str, BinaryFn] = {
+    LUKASIEWICZ: lambda a, b: np.maximum(0.0, a + b - 1.0),
+    GOEDEL: np.minimum,
+    PRODUCT: lambda a, b: a * b,
+}
+
+_T_CONORMS: Dict[str, BinaryFn] = {
+    LUKASIEWICZ: lambda a, b: np.minimum(1.0, a + b),
+    GOEDEL: np.maximum,
+    PRODUCT: lambda a, b: a + b - a * b,
+}
+
+_IMPLICATIONS: Dict[str, BinaryFn] = {
+    # residuum of each t-norm
+    LUKASIEWICZ: lambda a, b: np.minimum(1.0, 1.0 - a + b),
+    GOEDEL: lambda a, b: np.where(a <= b, 1.0, b),
+    PRODUCT: lambda a, b: np.where(a <= b, 1.0,
+                                   np.divide(b, np.maximum(a, 1e-12))),
+}
+
+
+def t_norm(kind: str = LUKASIEWICZ) -> BinaryFn:
+    """Return the t-norm (fuzzy AND) of the given family."""
+    try:
+        return _T_NORMS[kind]
+    except KeyError:
+        raise ValueError(f"unknown t-norm family: {kind!r}") from None
+
+
+def t_conorm(kind: str = LUKASIEWICZ) -> BinaryFn:
+    """Return the t-conorm (fuzzy OR) of the given family."""
+    try:
+        return _T_CONORMS[kind]
+    except KeyError:
+        raise ValueError(f"unknown t-conorm family: {kind!r}") from None
+
+
+def implication(kind: str = LUKASIEWICZ) -> BinaryFn:
+    """Return the residual implication of the given family."""
+    try:
+        return _IMPLICATIONS[kind]
+    except KeyError:
+        raise ValueError(f"unknown implication family: {kind!r}") from None
+
+
+def negation(a: np.ndarray) -> np.ndarray:
+    """Standard (strong) fuzzy negation."""
+    return 1.0 - a
+
+
+def forall(truths: np.ndarray, p: float = 2.0, axis: int = -1) -> np.ndarray:
+    """LTN's universal quantifier: the p-mean-error aggregator.
+
+    ``1 - mean((1 - t)^p)^(1/p)`` — a smooth approximation of ``min``
+    that is differentiable and emphasizes the worst-satisfied instance
+    as ``p`` grows.
+    """
+    truths = np.clip(truths, 0.0, 1.0)
+    err = np.mean((1.0 - truths) ** p, axis=axis)
+    return 1.0 - err ** (1.0 / p)
+
+
+def exists(truths: np.ndarray, p: float = 2.0, axis: int = -1) -> np.ndarray:
+    """LTN's existential quantifier: the p-mean aggregator.
+
+    ``mean(t^p)^(1/p)`` — a smooth approximation of ``max``.
+    """
+    truths = np.clip(truths, 0.0, 1.0)
+    return np.mean(truths ** p, axis=axis) ** (1.0 / p)

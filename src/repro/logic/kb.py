@@ -1,0 +1,163 @@
+"""Ground knowledge base with Horn-rule forward chaining.
+
+The discrete "logic rules" substrate (Table II, ABL row): a fact store
+of ground atoms plus definite Horn clauses, evaluated by naive
+forward chaining to a fixpoint.  Workloads use it for abductive-style
+rule evaluation and for generating inference workloads whose runtime is
+dominated by host-side control flow — the behaviour the paper's
+"Others" operator category captures.
+
+The engine reports work statistics (rule applications, joins, facts
+derived) so the instrumentation layer can account its cost honestly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.logic.fol import Atom, Constant, Predicate, Variable
+
+GroundFact = Tuple[str, Tuple[str, ...]]  # (predicate name, constant names)
+
+
+@dataclass(frozen=True)
+class HornRule:
+    """``head :- body1, ..., bodyN`` over (possibly variable) atoms."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __str__(self) -> str:
+        body = ", ".join(str(a) for a in self.body)
+        return f"{self.head} :- {body}"
+
+    def variables(self) -> Set[Variable]:
+        out: Set[Variable] = set()
+        for atom in (self.head, *self.body):
+            out |= {t for t in atom.terms if isinstance(t, Variable)}
+        return out
+
+
+@dataclass
+class ChainStats:
+    """Work counters from one forward-chaining run."""
+
+    iterations: int = 0
+    rule_applications: int = 0
+    bindings_tried: int = 0
+    facts_derived: int = 0
+
+    @property
+    def total_work(self) -> int:
+        return self.rule_applications + self.bindings_tried
+
+
+class KnowledgeBase:
+    """Fact store + Horn rules + naive forward chaining."""
+
+    def __init__(self) -> None:
+        self._facts: Dict[str, Set[Tuple[str, ...]]] = {}
+        self.rules: List[HornRule] = []
+
+    # -- facts -----------------------------------------------------------
+    def add_fact(self, predicate: str, *constants: str) -> None:
+        self._facts.setdefault(predicate, set()).add(tuple(constants))
+
+    def has_fact(self, predicate: str, *constants: str) -> bool:
+        return tuple(constants) in self._facts.get(predicate, ())
+
+    def facts(self, predicate: Optional[str] = None) -> List[GroundFact]:
+        if predicate is not None:
+            return [(predicate, args) for args in sorted(self._facts.get(predicate, ()))]
+        out: List[GroundFact] = []
+        for pred in sorted(self._facts):
+            out.extend((pred, args) for args in sorted(self._facts[pred]))
+        return out
+
+    @property
+    def num_facts(self) -> int:
+        return sum(len(v) for v in self._facts.values())
+
+    def constants(self) -> List[str]:
+        """All constant names appearing in any fact."""
+        seen: Set[str] = set()
+        for args_set in self._facts.values():
+            for args in args_set:
+                seen.update(args)
+        return sorted(seen)
+
+    # -- rules -----------------------------------------------------------
+    def add_rule(self, rule: HornRule) -> None:
+        self.rules.append(rule)
+
+    # -- inference ---------------------------------------------------------
+    def forward_chain(self, max_iterations: int = 50) -> ChainStats:
+        """Derive facts to fixpoint (or until ``max_iterations``).
+
+        Naive semi-positive evaluation: each iteration tries every rule
+        against every consistent binding of its body.  Deliberately
+        unoptimized — the paper characterizes exactly this kind of
+        irregular, control-heavy symbolic execution.
+        """
+        stats = ChainStats()
+        for _ in range(max_iterations):
+            stats.iterations += 1
+            new_facts: List[GroundFact] = []
+            for rule in self.rules:
+                stats.rule_applications += 1
+                for binding in self._bindings(rule, stats):
+                    head_args = tuple(
+                        binding[t] if isinstance(t, Variable) else t.name
+                        for t in rule.head.terms)
+                    pred = rule.head.predicate.name
+                    if not self.has_fact(pred, *head_args):
+                        new_facts.append((pred, head_args))
+            if not new_facts:
+                break
+            for pred, args in new_facts:
+                if not self.has_fact(pred, *args):
+                    self.add_fact(pred, *args)
+                    stats.facts_derived += 1
+        return stats
+
+    def _bindings(self, rule: HornRule, stats: ChainStats) -> Iterable[Dict[Variable, str]]:
+        """All variable bindings satisfying the rule body, by nested join."""
+        partial: List[Dict[Variable, str]] = [{}]
+        for atom in rule.body:
+            candidates = self._facts.get(atom.predicate.name, set())
+            next_partial: List[Dict[Variable, str]] = []
+            for binding in partial:
+                for args in candidates:
+                    stats.bindings_tried += 1
+                    extended = self._unify(atom, args, binding)
+                    if extended is not None:
+                        next_partial.append(extended)
+            partial = next_partial
+            if not partial:
+                return []
+        return partial
+
+    @staticmethod
+    def _unify(atom: Atom, args: Tuple[str, ...],
+               binding: Dict[Variable, str]) -> Optional[Dict[Variable, str]]:
+        out = dict(binding)
+        for term, value in zip(atom.terms, args):
+            if isinstance(term, Constant):
+                if term.name != value:
+                    return None
+            else:
+                bound = out.get(term)
+                if bound is None:
+                    out[term] = value
+                elif bound != value:
+                    return None
+        return out
+
+    # -- queries -----------------------------------------------------------
+    def query(self, atom: Atom) -> List[Dict[Variable, str]]:
+        """All bindings making ``atom`` true against current facts."""
+        stats = ChainStats()
+        rule = HornRule(head=atom, body=(atom,))
+        return list(self._bindings(rule, stats))

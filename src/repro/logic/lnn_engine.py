@@ -1,0 +1,190 @@
+"""Formula-tree LNN inference engine (propositional theorem proving).
+
+The LNN workload in :mod:`repro.workloads.lnn` grounds Horn rules over
+typed domains; this engine is the complementary *formula-level* view
+the LNN paper leads with — a one-to-one mapping between neurons and
+the nodes of arbitrary propositional formulas (the "sparse syntax tree
+structure composed of proposition logic" the paper attributes LNN's
+vector-op and data-movement profile to):
+
+* every proposition holds a truth interval in a shared bounds vector;
+* every formula node evaluates upward through Lukasiewicz interval
+  arithmetic (gather leaves with ``T.take``, combine elementwise);
+* asserted axioms propagate downward through the connectives'
+  functional inverses (modus ponens / tollens, conjunction and
+  disjunction elimination), tightening proposition bounds;
+* inference alternates passes to a fixpoint — omnidirectional
+  inference over the syntax DAG.
+
+Used standalone as a tiny theorem prover: see
+``prove()`` and the TPTP-flavoured random-theory tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import tensor as T
+from repro.logic import bounds as B
+from repro.logic.bounds import Bounds
+from repro.logic.fol import (And, Atom, Formula, Implies, Not, Or,
+                             Predicate)
+
+
+def proposition(name: str) -> Atom:
+    """A 0-ary predicate applied to no terms: a proposition."""
+    return Predicate(name, 0)()
+
+
+@dataclass
+class InferenceStats:
+    """Work counters from one inference run."""
+
+    passes: int
+    upward_evaluations: int
+    downward_updates: int
+    converged: bool
+
+
+class FormulaNeuronNetwork:
+    """Neurons in one-to-one correspondence with formula nodes."""
+
+    def __init__(self, axioms: Sequence[Formula]):
+        self.axioms = list(axioms)
+        self.propositions: List[str] = []
+        self._index: Dict[str, int] = {}
+        for axiom in self.axioms:
+            for node in axiom.subformulas():
+                if isinstance(node, Atom):
+                    name = node.predicate.name
+                    if name not in self._index:
+                        self._index[name] = len(self.propositions)
+                        self.propositions.append(name)
+        size = len(self.propositions)
+        self.lower = np.zeros(size, dtype=np.float32)
+        self.upper = np.ones(size, dtype=np.float32)
+
+    # -- facts ---------------------------------------------------------------
+    def assert_fact(self, name: str, truth: float = 1.0) -> None:
+        if name not in self._index:
+            self._index[name] = len(self.propositions)
+            self.propositions.append(name)
+            self.lower = np.append(self.lower, 0.0).astype(np.float32)
+            self.upper = np.append(self.upper, 1.0).astype(np.float32)
+        # exact assertion pins both ends of the interval
+        i = self._index[name]
+        self.lower[i] = truth
+        self.upper[i] = truth
+
+    def bounds_of(self, name: str) -> Tuple[float, float]:
+        i = self._index[name]
+        return float(self.lower[i]), float(self.upper[i])
+
+    # -- upward -----------------------------------------------------------------
+    def _eval(self, formula: Formula, stats: InferenceStats) -> Bounds:
+        stats.upward_evaluations += 1
+        if isinstance(formula, Atom):
+            i = self._index[formula.predicate.name]
+            idx = T.tensor(np.asarray([i]), dtype=np.int64)
+            low = T.take(T.tensor(self.lower), idx).numpy()
+            up = T.take(T.tensor(self.upper), idx).numpy()
+            return Bounds(low, up)
+        if isinstance(formula, Not):
+            return B.not_up(self._eval(formula.operand, stats))
+        if isinstance(formula, And):
+            return B.and_up(self._eval(formula.left, stats),
+                            self._eval(formula.right, stats))
+        if isinstance(formula, Or):
+            return B.or_up(self._eval(formula.left, stats),
+                           self._eval(formula.right, stats))
+        if isinstance(formula, Implies):
+            return B.implies_up(self._eval(formula.antecedent, stats),
+                                self._eval(formula.consequent, stats))
+        raise TypeError(
+            f"unsupported formula node for propositional LNN: {formula}")
+
+    # -- downward ---------------------------------------------------------------
+    def _tighten(self, name: str, new: Bounds,
+                 stats: InferenceStats) -> float:
+        i = self._index[name]
+        lower = max(self.lower[i], float(new.lower.reshape(-1)[0]))
+        upper = min(self.upper[i], float(new.upper.reshape(-1)[0]))
+        delta = max(lower - self.lower[i], self.upper[i] - upper, 0.0)
+        if delta > 0:
+            stats.downward_updates += 1
+        self.lower[i] = lower
+        self.upper[i] = max(upper, lower)  # keep consistent
+        return delta
+
+    def _push(self, formula: Formula, asserted: Bounds,
+              stats: InferenceStats) -> float:
+        """Push ``asserted`` bounds for ``formula`` onto its leaves."""
+        if isinstance(formula, Atom):
+            return self._tighten(formula.predicate.name, asserted, stats)
+        if isinstance(formula, Not):
+            return self._push(formula.operand, B.not_down(asserted),
+                              stats)
+        if isinstance(formula, And):
+            left = self._eval(formula.left, stats)
+            right = self._eval(formula.right, stats)
+            delta = self._push(formula.left,
+                               B.and_down(asserted, right), stats)
+            delta = max(delta, self._push(
+                formula.right, B.and_down(asserted, left), stats))
+            return delta
+        if isinstance(formula, Or):
+            left = self._eval(formula.left, stats)
+            right = self._eval(formula.right, stats)
+            delta = self._push(formula.left,
+                               B.or_down(asserted, right), stats)
+            delta = max(delta, self._push(
+                formula.right, B.or_down(asserted, left), stats))
+            return delta
+        if isinstance(formula, Implies):
+            antecedent = self._eval(formula.antecedent, stats)
+            consequent = self._eval(formula.consequent, stats)
+            delta = self._push(
+                formula.consequent,
+                B.implies_down_consequent(asserted, antecedent), stats)
+            delta = max(delta, self._push(
+                formula.antecedent,
+                B.implies_down_antecedent(asserted, consequent), stats))
+            return delta
+        raise TypeError(f"unsupported formula node: {formula}")
+
+    # -- inference ----------------------------------------------------------------
+    def infer(self, max_passes: int = 10,
+              tolerance: float = 1e-6) -> InferenceStats:
+        """Alternate upward/downward passes until bounds stop moving."""
+        stats = InferenceStats(passes=0, upward_evaluations=0,
+                               downward_updates=0, converged=False)
+        asserted = Bounds.exactly(np.asarray([1.0]))
+        for _ in range(max_passes):
+            stats.passes += 1
+            delta = 0.0
+            for axiom in self.axioms:
+                self._eval(axiom, stats)           # upward (neuron values)
+                delta = max(delta,
+                            self._push(axiom, asserted, stats))
+            if delta < tolerance:
+                stats.converged = True
+                break
+        return stats
+
+
+def prove(axioms: Sequence[Formula], facts: Dict[str, float],
+          goal: str, threshold: float = 0.9,
+          max_passes: int = 10) -> Tuple[bool, Tuple[float, float],
+                                         InferenceStats]:
+    """Convenience theorem prover: returns (proved, goal bounds, stats)."""
+    network = FormulaNeuronNetwork(axioms)
+    for name, truth in facts.items():
+        network.assert_fact(name, truth)
+    stats = network.infer(max_passes=max_passes)
+    if goal not in network._index:
+        return False, (0.0, 1.0), stats
+    bounds = network.bounds_of(goal)
+    return bounds[0] >= threshold, bounds, stats

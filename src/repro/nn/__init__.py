@@ -1,0 +1,14 @@
+"""Neural-network substrate (numpy-backed, instrumentation-aware)."""
+
+from repro.nn.init import kaiming, rng_for, xavier
+from repro.nn.layers import (MLP, AvgPool2d, BatchNorm2d, Conv2d, Flatten,
+                             GlobalAvgPool, Linear, MaxPool2d, Module, ReLU,
+                             Residual, Sequential, Sigmoid, Softmax, Tanh,
+                             conv_block, small_convnet)
+
+__all__ = [
+    "kaiming", "rng_for", "xavier",
+    "MLP", "AvgPool2d", "BatchNorm2d", "Conv2d", "Flatten", "GlobalAvgPool",
+    "Linear", "MaxPool2d", "Module", "ReLU", "Residual", "Sequential",
+    "Sigmoid", "Softmax", "Tanh", "conv_block", "small_convnet",
+]

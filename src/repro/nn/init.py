@@ -1,0 +1,29 @@
+"""Deterministic parameter initializers.
+
+The characterization study needs realistic layer *shapes*, not trained
+weights (runtime/memory/operator statistics are weight-value-invariant),
+so all networks initialize deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """A reproducible generator for parameter initialization."""
+    return np.random.default_rng(seed)
+
+
+def kaiming(rng: np.random.Generator, shape: tuple, fan_in: int,
+            dtype: object = np.float32) -> np.ndarray:
+    """He-normal initialization (standard for ReLU networks)."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def xavier(rng: np.random.Generator, shape: tuple, fan_in: int,
+           fan_out: int, dtype: object = np.float32) -> np.ndarray:
+    """Glorot-uniform initialization (used for sigmoid/tanh heads)."""
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(dtype)

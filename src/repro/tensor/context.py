@@ -1,0 +1,126 @@
+"""Profiling context for the instrumented tensor runtime.
+
+A :class:`ProfileContext` collects :class:`~repro.core.profiler.TraceEvent`
+objects while workload code executes.  Usage::
+
+    from repro import tensor as T
+
+    with T.profile("nvsa") as prof:
+        with T.phase("neural"):
+            ...                      # ops recorded as neural
+        with T.phase("symbolic"), T.stage("rule_detection"):
+            ...                      # ops recorded as symbolic
+    trace = prof.trace
+
+Ops executed outside any active context still compute but skip all
+bookkeeping, so library code is usable unprofiled.
+
+Live-memory tracking: every tensor allocated under an active context
+adds its byte size to a live counter and registers a weakref finalizer
+that subtracts it on garbage collection.  Each event snapshots the
+counter, which powers the Fig. 3b memory analysis.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.core.profiler import Trace, TraceEvent
+
+_state = threading.local()
+
+
+def _ctx_stack() -> List["ProfileContext"]:
+    if not hasattr(_state, "stack"):
+        _state.stack = []
+    return _state.stack
+
+
+def active_context() -> Optional["ProfileContext"]:
+    """The innermost active profiling context, or ``None``."""
+    stack = _ctx_stack()
+    return stack[-1] if stack else None
+
+
+class ProfileContext:
+    """Collects trace events and tracks phase/stage labels and live bytes."""
+
+    def __init__(self, workload: str = ""):
+        self.trace = Trace(workload)
+        self.current_phase = ""
+        self.current_stage = ""
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
+        self._next_eid = 0
+
+    # -- event bookkeeping ---------------------------------------------------
+    def next_eid(self) -> int:
+        eid = self._next_eid
+        self._next_eid += 1
+        return eid
+
+    def record(self, event: TraceEvent) -> None:
+        self.trace.append(event)
+
+    # -- live memory ---------------------------------------------------------
+    def track_allocation(self, obj: object, nbytes: int) -> None:
+        """Count ``nbytes`` as live until ``obj`` is garbage collected."""
+        if nbytes <= 0:
+            return
+        self.live_bytes += nbytes
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
+        weakref.finalize(obj, self._release, nbytes)
+
+    def _release(self, nbytes: int) -> None:
+        self.live_bytes -= nbytes
+
+    # -- context-manager protocol ---------------------------------------------
+    def __enter__(self) -> "ProfileContext":
+        _ctx_stack().append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        stack = _ctx_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - misuse guard
+            raise RuntimeError("profile contexts exited out of order")
+
+
+def profile(workload: str = "") -> ProfileContext:
+    """Create a profiling context (use with ``with``)."""
+    return ProfileContext(workload)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Tag all ops in the block with phase ``name`` (neural/symbolic)."""
+    ctx = active_context()
+    if ctx is None:
+        yield
+        return
+    prev = ctx.current_phase
+    ctx.current_phase = name
+    try:
+        yield
+    finally:
+        ctx.current_phase = prev
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Tag all ops in the block with fine-grained stage ``name``."""
+    ctx = active_context()
+    if ctx is None:
+        yield
+        return
+    prev = ctx.current_stage
+    ctx.current_stage = name
+    try:
+        yield
+    finally:
+        ctx.current_stage = prev

@@ -1,0 +1,194 @@
+"""Op dispatch: compute with numpy, record a trace event.
+
+Every public op in :mod:`repro.tensor.ops` funnels through
+:func:`run_op`.  The dispatcher
+
+1. coerces inputs, collecting byte counts and producer event ids,
+2. times the numpy kernel,
+3. computes FLOPs (explicit or ``flop_factor * output.size``),
+4. measures output sparsity,
+5. emits a :class:`~repro.core.profiler.TraceEvent` into the active
+   profiling context (if any), and
+6. returns a :class:`~repro.tensor.tensor.Tensor` whose ``producer``
+   points at the new event.
+
+There is also :func:`record_region` for control-flow-heavy symbolic
+code (rule search loops, theorem-prover traversals) that does not map
+onto a single tensor kernel: it wraps a Python block, measures its wall
+time, and records one aggregate event — mirroring how the paper's
+"Others" operator category captures fuzzy-logic and logic-rule work.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.profiler import TraceEvent
+from repro.core.taxonomy import OpCategory
+from repro.tensor.context import ProfileContext, active_context
+from repro.tensor.tensor import Tensor
+
+#: Arrays larger than this skip sparsity measurement (keeps dispatch cheap).
+_SPARSITY_MEASURE_LIMIT = 1 << 26
+
+InputLike = Union[Tensor, np.ndarray, float, int, bool]
+
+
+def _split_inputs(inputs: Sequence[InputLike]) -> Tuple[List[np.ndarray], int,
+                                                        Tuple[Tuple[int, ...], ...],
+                                                        Tuple[int, ...]]:
+    """Separate raw arrays, byte counts, shapes, and producer eids."""
+    arrays: List[np.ndarray] = []
+    bytes_read = 0
+    shapes: List[Tuple[int, ...]] = []
+    parents: List[int] = []
+    for value in inputs:
+        if isinstance(value, Tensor):
+            arrays.append(value.data)
+            bytes_read += value.data.nbytes
+            shapes.append(value.data.shape)
+            if value.producer is not None:
+                parents.append(value.producer)
+        elif isinstance(value, np.ndarray):
+            arrays.append(value)
+            bytes_read += value.nbytes
+            shapes.append(value.shape)
+        else:  # python scalar
+            arrays.append(value)  # type: ignore[arg-type]
+            bytes_read += 8
+            shapes.append(())
+    return arrays, bytes_read, tuple(shapes), tuple(parents)
+
+
+def _measure_sparsity(arr: np.ndarray) -> float:
+    if arr.size == 0 or arr.size > _SPARSITY_MEASURE_LIMIT:
+        return 0.0
+    if arr.dtype == object:  # pragma: no cover - defensive
+        return 0.0
+    return 1.0 - np.count_nonzero(arr) / arr.size
+
+
+def run_op(name: str,
+           category: OpCategory,
+           compute: Callable[..., np.ndarray],
+           inputs: Sequence[InputLike],
+           *,
+           flops: Optional[float] = None,
+           flop_factor: float = 1.0,
+           extra_bytes_read: int = 0,
+           bytes_written: Optional[int] = None,
+           measure_sparsity: bool = True) -> Tensor:
+    """Execute ``compute`` on raw arrays and record one trace event.
+
+    Parameters
+    ----------
+    flops:
+        Explicit FLOP count.  When ``None``, the count defaults to
+        ``flop_factor * output.size`` (the convention for element-wise
+        kernels; reductions pass explicit counts).
+    extra_bytes_read:
+        Additional traffic not visible from the inputs (e.g. lookup
+        tables touched inside the kernel).
+    bytes_written:
+        Override for written bytes; defaults to the output's nbytes.
+    """
+    arrays, bytes_read, shapes, parents = _split_inputs(inputs)
+    ctx = active_context()
+    if ctx is None:
+        out = compute(*arrays)
+        return Tensor(np.asarray(out))
+
+    start = time.perf_counter()
+    out = compute(*arrays)
+    elapsed = time.perf_counter() - start
+    out_arr = np.asarray(out)
+
+    if flops is None:
+        flops = flop_factor * out_arr.size
+    written = out_arr.nbytes if bytes_written is None else bytes_written
+    sparsity = _measure_sparsity(out_arr) if measure_sparsity else 0.0
+
+    eid = ctx.next_eid()
+    result = Tensor(out_arr, producer=eid)
+    ctx.record(TraceEvent(
+        eid=eid,
+        name=name,
+        category=category,
+        phase=ctx.current_phase,
+        stage=ctx.current_stage,
+        flops=float(flops),
+        bytes_read=bytes_read + extra_bytes_read,
+        bytes_written=written,
+        input_shapes=shapes,
+        output_shape=out_arr.shape,
+        output_sparsity=sparsity,
+        wall_time=elapsed,
+        parents=parents,
+        live_bytes=ctx.live_bytes,
+    ))
+    return result
+
+
+def record_event(name: str,
+                 category: OpCategory,
+                 *,
+                 flops: float = 0.0,
+                 bytes_read: int = 0,
+                 bytes_written: int = 0,
+                 wall_time: float = 0.0,
+                 parents: Tuple[int, ...] = (),
+                 input_shapes: Tuple[Tuple[int, ...], ...] = (),
+                 output_shape: Tuple[int, ...] = (),
+                 output_sparsity: float = 0.0) -> Optional[int]:
+    """Record a standalone event (no tensor output); returns its eid."""
+    ctx = active_context()
+    if ctx is None:
+        return None
+    eid = ctx.next_eid()
+    ctx.record(TraceEvent(
+        eid=eid, name=name, category=category,
+        phase=ctx.current_phase, stage=ctx.current_stage,
+        flops=float(flops), bytes_read=bytes_read,
+        bytes_written=bytes_written, wall_time=wall_time,
+        parents=parents, input_shapes=input_shapes,
+        output_shape=output_shape, output_sparsity=output_sparsity,
+        live_bytes=ctx.live_bytes,
+    ))
+    return eid
+
+
+@contextmanager
+def record_region(name: str,
+                  category: OpCategory = OpCategory.OTHER,
+                  *,
+                  flops: float = 0.0,
+                  bytes_read: int = 0,
+                  bytes_written: int = 0,
+                  parents: Tuple[int, ...] = ()) -> Iterator[None]:
+    """Record a Python region (e.g. a logic-rule search loop) as one event.
+
+    The supplied ``flops``/``bytes`` describe the aggregate work done by
+    the region; wall time is measured.  Use for symbolic computations
+    that execute as host-side control flow rather than tensor kernels.
+    """
+    ctx = active_context()
+    if ctx is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        eid = ctx.next_eid()
+        ctx.record(TraceEvent(
+            eid=eid, name=name, category=category,
+            phase=ctx.current_phase, stage=ctx.current_stage,
+            flops=float(flops), bytes_read=bytes_read,
+            bytes_written=bytes_written, wall_time=elapsed,
+            parents=parents, live_bytes=ctx.live_bytes,
+        ))

@@ -1,0 +1,40 @@
+"""Locality-sensitive hashing into hypervector space (VSAIT encoder).
+
+VSAIT "extracts features and uses locality-sensitive hashing with a
+neural network to encode source, target, and translated images into the
+random vector-symbolic hyperspace" (paper Sec. III-F).  The standard
+construction is sign-of-random-projection: a fixed Gaussian matrix
+projects feature vectors to d dimensions, and the sign pattern is the
+bipolar hypervector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import tensor as T
+from repro.tensor.tensor import Tensor
+
+
+class LSHEncoder:
+    """Sign-random-projection encoder: features -> bipolar hypervectors."""
+
+    def __init__(self, in_features: int, dim: int, seed: int = 0):
+        if in_features <= 0 or dim <= 0:
+            raise ValueError("in_features and dim must be positive")
+        self.in_features = in_features
+        self.dim = dim
+        rng = np.random.default_rng(seed)
+        self.projection = rng.normal(
+            0.0, 1.0 / np.sqrt(in_features),
+            size=(in_features, dim)).astype(np.float32)
+
+    def encode(self, features: Tensor) -> Tensor:
+        """``(batch, in_features) -> (batch, dim)`` bipolar vectors."""
+        if features.shape[-1] != self.in_features:
+            raise ValueError(
+                f"feature width {features.shape[-1]} != {self.in_features}")
+        projected = T.matmul(features, T.tensor(self.projection))
+        return T.sign(projected)
+
+    __call__ = encode

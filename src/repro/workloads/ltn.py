@@ -1,0 +1,206 @@
+"""Logic Tensor Network (LTN) querying / reasoning.
+
+LTN (paper Sec. III-C) grounds a first-order fuzzy-logic signature onto
+tensors: constants become feature vectors, predicates become neural
+networks emitting truth degrees in [0, 1], connectives are fuzzy
+(product/Lukasiewicz) operators, and quantifiers are smooth p-mean
+aggregations.  The profiled task follows the classic LTN benchmarks:
+
+* a smokers/friends/cancer relational world (16 people);
+* a two-class tabular dataset (UCI/crabs-like) for the classification
+  axioms;
+* an axiom set evaluated for satisfaction plus query answering.
+
+Phases: **neural** — MLP groundings of every predicate over the whole
+domain (batched GEMMs); **symbolic** — fuzzy-FOL evaluation of the
+axioms (connectives in the "Others" operator category, quantifier
+aggregations as vector ops) and query answering.
+
+Functional note: predicate MLPs run with untrained weights (runtime
+statistics are weight-invariant); their outputs blend with the
+generated world's ground truth so axiom satisfaction is meaningfully
+high, emulating a trained LTN (DESIGN.md documents the substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro import tensor as T
+from repro.core.taxonomy import NSParadigm
+from repro.datasets.kb_gen import SmokersWorld, smokers_world
+from repro.datasets.tabular import TabularDataset, two_class_gaussian
+from repro.nn import MLP
+from repro.tensor.tensor import Tensor
+from repro.workloads.base import Workload, WorkloadInfo, calibrate, register
+
+
+def _forall(truths: Tensor, p: float = 2.0) -> Tensor:
+    """p-mean-error universal quantifier: 1 - mean((1-t)^p)^(1/p)."""
+    err = T.pow(T.sub(1.0, T.clip(truths, 0.0, 1.0)), p)
+    mean_err = T.mean(err)
+    return T.sub(1.0, T.pow(mean_err, 1.0 / p))
+
+
+def _exists(truths: Tensor, p: float = 2.0) -> Tensor:
+    """p-mean existential quantifier: mean(t^p)^(1/p)."""
+    powered = T.pow(T.clip(truths, 0.0, 1.0), p)
+    return T.pow(T.mean(powered), 1.0 / p)
+
+
+@register("ltn")
+class LTNWorkload(Workload):
+    """LTN on smokers-friends-cancer + tabular classification axioms."""
+
+    info = WorkloadInfo(
+        name="ltn",
+        full_name="Logic Tensor Network",
+        paradigm=NSParadigm.NEURO_SUB_SYMBOLIC,
+        learning_approach="Supervised/Unsupervised",
+        application=("Querying, learning, reasoning (relational and "
+                     "embedding learning, query answering)"),
+        advantage=("Higher data efficiency, comprehensibility, "
+                   "out-of-distribution generalization"),
+        datasets=("UCI", "Leptograpsus crabs", "DeepProbLog"),
+        datatype="FP32",
+        neural_workload="MLP",
+        symbolic_workload="Fuzzy first-order logic",
+    )
+
+    def __init__(self, num_people: int = 48, embed_dim: int = 64,
+                 hidden: int = 256, num_tabular: int = 1500,
+                 grounding_blend: float = 0.85, seed: int = 0):
+        super().__init__(num_people=num_people, embed_dim=embed_dim,
+                         hidden=hidden, num_tabular=num_tabular,
+                         grounding_blend=grounding_blend, seed=seed)
+        self.num_people = num_people
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.num_tabular = num_tabular
+        self.grounding_blend = grounding_blend
+        self.seed = seed
+
+    def _build(self) -> None:
+        self.world: SmokersWorld = smokers_world(self.num_people,
+                                                 seed=self.seed)
+        self.tabular: TabularDataset = two_class_gaussian(
+            self.num_tabular, seed=self.seed + 1)
+        rng = np.random.default_rng(self.seed + 2)
+        self.embeddings = rng.normal(
+            0, 1, (self.num_people, self.embed_dim)).astype(np.float32)
+        h = self.hidden
+        self.smokes_net = MLP([self.embed_dim, h, h, 1], seed=self.seed + 3,
+                              final_activation="sigmoid")
+        self.cancer_net = MLP([self.embed_dim, h, h, 1], seed=self.seed + 4,
+                              final_activation="sigmoid")
+        self.friends_net = MLP([2 * self.embed_dim, h, h, 1],
+                               seed=self.seed + 5,
+                               final_activation="sigmoid")
+        self.class_net = MLP([self.tabular.num_features, h, h, 1],
+                             seed=self.seed + 6, final_activation="sigmoid")
+
+    def parameter_bytes(self) -> int:
+        return sum(net.parameter_bytes for net in (
+            self.smokes_net, self.cancer_net, self.friends_net,
+            self.class_net))
+
+    # -- groundings ------------------------------------------------------------
+    def _ground_unary(self, net: MLP, truth: np.ndarray,
+                      name: str) -> Tensor:
+        out = net(T.tensor(self.embeddings))
+        out = T.reshape(out, (self.num_people,))
+        return calibrate(out, truth, self.grounding_blend)
+
+    def _ground_friends(self) -> Tensor:
+        n = self.num_people
+        left = np.repeat(self.embeddings, n, axis=0)
+        right = np.tile(self.embeddings, (n, 1))
+        pairs = T.concat([T.tensor(left), T.tensor(right)], axis=1)
+        out = self.friends_net(pairs)
+        out = T.reshape(out, (n, n))
+        return calibrate(out, self.world.friends, self.grounding_blend)
+
+    # -- run ----------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        with T.phase("neural"), T.stage("grounding"):
+            smokes = self._ground_unary(self.smokes_net, self.world.smokes,
+                                        "smokes")
+            cancer = self._ground_unary(self.cancer_net, self.world.cancer,
+                                        "cancer")
+            friends = self._ground_friends()
+            class_truth = self.class_net(T.tensor(self.tabular.features))
+            class_truth = T.reshape(class_truth, (self.num_tabular,))
+            class_target = (1.0 - self.tabular.labels).astype(np.float32)
+            class_truth = calibrate(class_truth, class_target,
+                                    self.grounding_blend)
+
+        axiom_truth: Dict[str, float] = {}
+        with T.phase("symbolic"):
+            n = self.num_people
+            with T.stage("axioms"):
+                # A1: forall x,y: F(x,y) -> (S(x) -> S(y))
+                s_row = T.broadcast_to(T.reshape(smokes, (n, 1)), (n, n))
+                s_col = T.broadcast_to(T.reshape(smokes, (1, n)), (n, n))
+                inner = T.fuzzy_implies(s_row, s_col, kind="product")
+                a1 = _forall(T.reshape(
+                    T.fuzzy_implies(friends, inner, kind="product"),
+                    (n * n,)))
+                axiom_truth["smoking_spreads"] = float(a1.numpy())
+
+                # A2: forall x: S(x) -> C(x)
+                a2 = _forall(T.fuzzy_implies(smokes, cancer,
+                                             kind="product"))
+                axiom_truth["smoking_causes_cancer"] = float(a2.numpy())
+
+                # A3: forall x,y: F(x,y) -> F(y,x)
+                sym = T.fuzzy_implies(friends, T.transpose(friends),
+                                      kind="product")
+                a3 = _forall(T.reshape(sym, (n * n,)))
+                axiom_truth["friendship_symmetric"] = float(a3.numpy())
+
+                # A4: forall x: ~F(x,x)
+                diag = T.mul(friends, T.eye(n))
+                diag_truths = T.sum(diag, axis=1)
+                a4 = _forall(T.fuzzy_not(diag_truths))
+                axiom_truth["no_self_friendship"] = float(a4.numpy())
+
+                # A5: exists x: S(x)
+                a5 = _exists(smokes, p=6.0)
+                axiom_truth["somebody_smokes"] = float(a5.numpy())
+
+                # A6/A7: tabular classification axioms
+                labels = self.tabular.labels
+                pos = T.masked_select(class_truth,
+                                      T.tensor((labels == 0).astype(np.float32)))
+                neg = T.masked_select(class_truth,
+                                      T.tensor((labels == 1).astype(np.float32)))
+                a6 = _forall(pos)
+                a7 = _forall(T.fuzzy_not(neg))
+                axiom_truth["class0_positive"] = float(a6.numpy())
+                axiom_truth["class1_negative"] = float(a7.numpy())
+
+            with T.stage("sat_aggregation"):
+                truths = T.tensor(np.asarray(list(axiom_truth.values()),
+                                             dtype=np.float32))
+                sat = T.mean(truths)
+                sat_value = float(sat.numpy())
+
+            with T.stage("query"):
+                # query: expected cancer truth among smokers vs others
+                smoker_mask = T.greater(smokes, 0.5)
+                smoker_cancer = T.masked_select(cancer, smoker_mask)
+                other_cancer = T.masked_select(
+                    cancer, T.logical_not(smoker_mask))
+                q_smoker = float(T.mean(smoker_cancer).numpy()) \
+                    if smoker_cancer.size else 0.0
+                q_other = float(T.mean(other_cancer).numpy()) \
+                    if other_cancer.size else 0.0
+
+        return {
+            "satisfaction": sat_value,
+            "axioms": axiom_truth,
+            "query_cancer_given_smokes": q_smoker,
+            "query_cancer_given_not_smokes": q_other,
+        }

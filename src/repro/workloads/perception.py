@@ -1,0 +1,71 @@
+"""Shared neural perception for the RPM workloads (NVSA, PrAE).
+
+Both models use a ConvNet frontend that maps panel images to
+per-attribute probability mass functions.  The ConvNet runs with
+deterministic untrained weights (runtime statistics are
+weight-invariant); to keep the end-to-end tasks functionally correct,
+its softmax output is blended with an exact template decoder over the
+rendered panels (DESIGN.md documents the substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro import tensor as T
+from repro.datasets import rpm
+from repro.nn import Sequential
+from repro.tensor.tensor import Tensor
+
+
+def decode_panel_templates(resolution: int) -> np.ndarray:
+    """All 30 (shape, size) mask templates: (5, 6, R, R) bool."""
+    out = np.zeros((5, 6, resolution, resolution), dtype=bool)
+    for shape in range(5):
+        for size in range(6):
+            img = rpm.render_panel(rpm.Panel(shape, size, 5), resolution)
+            out[shape, size] = img[0] > 0
+    return out
+
+
+def template_decode(image: np.ndarray,
+                    templates: np.ndarray) -> Tuple[int, int, int]:
+    """Exact attribute decode of a rendered panel: (shape, size, color)."""
+    mask = image[0] > 0
+    diffs = np.logical_xor(templates, mask[None, None]).sum(axis=(2, 3))
+    shape, size = np.unravel_index(int(np.argmin(diffs)), diffs.shape)
+    intensity = float(image.max()) if mask.any() else 0.3
+    color = int(np.clip(round((intensity - 0.3) / 0.07), 0, 9))
+    return int(shape), int(size), color
+
+
+def perceive_panels(frontend: Sequential, images: np.ndarray,
+                    templates: np.ndarray,
+                    blend: float = 0.9) -> Dict[str, Tensor]:
+    """ConvNet + calibration -> per-attribute PMFs (num_imgs, m).
+
+    Must run inside an active ``T.phase("neural")`` block; emits
+    ``perception`` and ``uncertainty`` stages.
+    """
+    with T.stage("perception"):
+        batch = T.to_device(T.tensor(images), "gpu")
+        logits = frontend(batch)
+    from repro.workloads.base import calibrate
+
+    with T.stage("uncertainty"):
+        pmfs: Dict[str, Tensor] = {}
+        offset = 0
+        for attr, domain in rpm.ATTRIBUTES.items():
+            attr_logits = T.index(logits, (slice(None),
+                                           slice(offset, offset + domain)))
+            soft = T.softmax(attr_logits, axis=-1)
+            decoded = np.zeros((images.shape[0], domain), dtype=np.float32)
+            for i in range(images.shape[0]):
+                attrs = template_decode(images[i], templates)
+                value = dict(zip(rpm.ATTRIBUTES, attrs))[attr]
+                decoded[i, value] = 1.0
+            pmfs[attr] = calibrate(soft, decoded, blend)
+            offset += domain
+    return pmfs

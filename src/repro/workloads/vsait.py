@@ -1,0 +1,168 @@
+"""VSA-based unpaired image-to-image translation (VSAIT).
+
+VSAIT (paper Sec. III-F) addresses semantic flipping in unpaired
+translation by learning an invertible mapping in hypervector space:
+
+* **neural phase** — a generator ConvNet translates source images; a
+  feature-extractor ConvNet embeds source, translated and target
+  images into per-location feature maps;
+* **symbolic phase** — locality-sensitive hashing projects every
+  feature-map location into a random bipolar hyperspace; source-domain
+  information is *unbound* and target-domain information *bound* via
+  Hadamard binding, and the translation-consistency score is the
+  hypervector similarity between the translated image's encoding and
+  the source encoding mapped through the learned domain-transfer
+  vector.  These per-location hypervector arrays (locations x d) are
+  the large, low-intensity vector workload the paper finds dominating
+  VSAIT's runtime (83.7% symbolic).
+
+Functional checks: binding is self-inverse (unbind(bind(x,k),k) == x
+exactly in bipolar space), so the mapped-source consistency with its
+own round trip is 1.0; translated-vs-target similarity lands in [-1,1].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro import tensor as T
+from repro.core.taxonomy import NSParadigm
+from repro.datasets.images import UnpairedImageBatch, unpaired_batch
+from repro.nn import Conv2d, ReLU, Sequential, conv_block
+from repro.tensor.tensor import Tensor
+from repro.vsa.hypervector import BipolarSpace
+from repro.vsa.lsh import LSHEncoder
+from repro.workloads.base import Workload, WorkloadInfo, register
+
+
+@register("vsait")
+class VSAITWorkload(Workload):
+    """VSAIT on synthetic unpaired source/target domains."""
+
+    info = WorkloadInfo(
+        name="vsait",
+        full_name="VSA-Based Image-to-Image Translation",
+        paradigm=NSParadigm.NEURO_PIPE_SYMBOLIC,
+        learning_approach="Supervised",
+        application="Unpaired image-to-image translation",
+        advantage=("Addresses semantic flipping and hallucination issues "
+                   "in unpaired image translation tasks"),
+        datasets=("GTA", "Cityscapes", "Google Maps"),
+        datatype="FP32",
+        neural_workload="ConvNet",
+        symbolic_workload="Binding/unbinding (hypervector algebra)",
+    )
+
+    def __init__(self, batch_size: int = 2, resolution: int = 64,
+                 feature_channels: int = 128, dim: int = 4096,
+                 num_keys: int = 4, seed: int = 0):
+        super().__init__(batch_size=batch_size, resolution=resolution,
+                         feature_channels=feature_channels, dim=dim,
+                         num_keys=num_keys, seed=seed)
+        self.batch_size = batch_size
+        self.resolution = resolution
+        self.feature_channels = feature_channels
+        self.dim = dim
+        self.num_keys = num_keys
+        self.seed = seed
+
+    def _build(self) -> None:
+        self.batch: UnpairedImageBatch = unpaired_batch(
+            self.batch_size, self.resolution, seed=self.seed)
+        f = self.feature_channels
+        self.generator = Sequential(
+            Conv2d(3, 32, 3, padding=1, seed=self.seed + 1), ReLU(),
+            Conv2d(32, 32, 3, padding=1, seed=self.seed + 2), ReLU(),
+            Conv2d(32, 3, 3, padding=1, seed=self.seed + 3),
+        )
+        self.extractor = Sequential(
+            conv_block(3, 32, seed=self.seed + 10),
+            conv_block(32, 64, seed=self.seed + 20, stride=2),
+            conv_block(64, f, seed=self.seed + 30, stride=2),
+        )
+        self.space = BipolarSpace(self.dim)
+        self.lsh = LSHEncoder(f, self.dim, seed=self.seed + 40)
+        rng = np.random.default_rng(self.seed + 50)
+        # one key pair per semantic sub-band (VSAIT hashes several
+        # feature subsets into the hyperspace)
+        self.source_keys = [self.space.random(rng, 1)
+                            for _ in range(self.num_keys)]
+        self.target_keys = [self.space.random(rng, 1)
+                            for _ in range(self.num_keys)]
+
+    def parameter_bytes(self) -> int:
+        return (self.generator.parameter_bytes
+                + self.extractor.parameter_bytes)
+
+    def codebook_bytes(self) -> int:
+        keys = sum(k.nbytes for k in self.source_keys + self.target_keys)
+        return self.lsh.projection.nbytes + keys
+
+    def _locations(self, feature_map: Tensor) -> Tensor:
+        """(B, F, H, W) -> (B*H*W, F) per-location feature rows."""
+        b, f, h, w = feature_map.shape
+        moved = T.transpose(feature_map, (0, 2, 3, 1))
+        return T.reshape(moved, (b * h * w, f))
+
+    def run(self) -> Dict[str, Any]:
+        with T.phase("neural"):
+            with T.stage("translation"):
+                source = T.to_device(T.tensor(self.batch.source), "gpu")
+                target = T.to_device(T.tensor(self.batch.target), "gpu")
+                translated = self.generator(source)
+            with T.stage("feature_extraction"):
+                feats = {
+                    "source": self.extractor(source),
+                    "translated": self.extractor(translated),
+                    "target": self.extractor(target),
+                }
+
+        with T.phase("symbolic"):
+            with T.stage("hyperspace_encoding"):
+                hvs: Dict[str, Tensor] = {
+                    name: self.lsh.encode(self._locations(fm))
+                    for name, fm in feats.items()
+                }
+
+            with T.stage("binding"):
+                # invertible domain mapping per semantic sub-band:
+                # strip source style, add target style (Hadamard
+                # binding, self-inverse), then superpose the sub-bands
+                mapped_parts: List[Tensor] = []
+                recovered_parts: List[Tensor] = []
+                for s_key, t_key in zip(self.source_keys,
+                                        self.target_keys):
+                    content = self.space.unbind(hvs["source"], s_key)
+                    mapped_k = self.space.bind(content, t_key)
+                    mapped_parts.append(mapped_k)
+                    back = self.space.unbind(mapped_k, t_key)
+                    recovered_parts.append(self.space.bind(back, s_key))
+                mapped = mapped_parts[0]
+                recovered = recovered_parts[0]
+                for part in mapped_parts[1:]:
+                    mapped = T.add(mapped, part)
+                for part in recovered_parts[1:]:
+                    recovered = T.add(recovered, part)
+                mapped = T.sign(mapped)
+                recovered = T.sign(recovered)
+
+            with T.stage("similarity"):
+                consistency = self.space.similarity(hvs["translated"],
+                                                    mapped)
+                round_trip = self.space.similarity(recovered,
+                                                   hvs["source"])
+                target_align = self.space.similarity(hvs["translated"],
+                                                     hvs["target"])
+                consistency_loss = T.mean(T.sub(1.0, consistency))
+                alignment = T.mean(target_align)
+                round_trip_mean = T.mean(round_trip)
+
+        return {
+            "consistency_loss": float(consistency_loss.numpy()),
+            "round_trip_similarity": float(round_trip_mean.numpy()),
+            "target_alignment": float(alignment.numpy()),
+            "locations": int(hvs["source"].shape[0]),
+            "hypervector_dim": self.dim,
+        }

@@ -1,0 +1,231 @@
+"""Tests for the characterization analyses: latency/operator breakdowns,
+memory, opgraph, sparsity, scaling, inefficiency, validation, suite."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.core import (CATEGORY_ORDER, OpCategory, analyze_graph,
+                        analyze_inefficiency, build_graph, flops_breakdown,
+                        latency_breakdown, memory_profile,
+                        operator_breakdown, overall_sparsity,
+                        phase_boundedness, roofline_figure, stage_sparsity,
+                        validate_trace)
+from repro.core.profiler import (PHASE_NEURAL, PHASE_SYMBOLIC, Trace,
+                                 TraceEvent)
+from repro.core.scaling import nvsa_task_size_study, sweep
+from repro.core.suite import characterize
+from repro.hwsim import RTX_2080TI
+from repro.workloads import create
+from tests.conftest import cached_trace
+
+
+class TestLatencyBreakdown:
+    def test_fractions_sum_to_one(self, nvsa_trace):
+        lb = latency_breakdown(nvsa_trace, RTX_2080TI)
+        assert lb.neural_fraction + lb.symbolic_fraction == \
+            pytest.approx(1.0, abs=1e-6)
+
+    def test_nvsa_symbolic_dominant(self, nvsa_trace):
+        lb = latency_breakdown(nvsa_trace, RTX_2080TI)
+        assert lb.symbolic_fraction > 0.8
+
+    def test_stage_times_cover_total(self, nvsa_trace):
+        lb = latency_breakdown(nvsa_trace, RTX_2080TI)
+        assert sum(lb.stage_times.values()) == pytest.approx(
+            lb.total_time, rel=1e-6)
+
+    def test_event_counts(self, nvsa_trace):
+        lb = latency_breakdown(nvsa_trace, RTX_2080TI)
+        assert sum(lb.event_counts.values()) == len(nvsa_trace)
+
+
+class TestOperatorBreakdown:
+    def test_shares_sum_to_one(self, nvsa_trace):
+        for ob in operator_breakdown(nvsa_trace, RTX_2080TI):
+            assert sum(ob.shares().values()) == pytest.approx(1.0,
+                                                              abs=1e-6)
+
+    def test_neural_has_convolution(self, nvsa_trace):
+        obs = {ob.phase: ob
+               for ob in operator_breakdown(nvsa_trace, RTX_2080TI)}
+        assert obs[PHASE_NEURAL].share(OpCategory.CONVOLUTION) > 0.05
+        assert obs[PHASE_SYMBOLIC].share(OpCategory.CONVOLUTION) == 0.0
+
+    def test_symbolic_dominated_by_vector_ops(self, nvsa_trace):
+        obs = {ob.phase: ob
+               for ob in operator_breakdown(nvsa_trace, RTX_2080TI)}
+        symbolic = obs[PHASE_SYMBOLIC]
+        assert symbolic.dominant_category in (
+            OpCategory.ELEMENTWISE, OpCategory.TRANSFORM)
+
+    def test_ltn_symbolic_has_others(self, ltn_trace):
+        obs = {ob.phase: ob
+               for ob in operator_breakdown(ltn_trace, RTX_2080TI)}
+        assert obs[PHASE_SYMBOLIC].share(OpCategory.OTHER) > 0.0
+
+    def test_flops_breakdown_nvsa(self, nvsa_trace):
+        shares = flops_breakdown(nvsa_trace)
+        # time-dominant symbolic phase is the FLOPs minority (Takeaway 1)
+        assert shares[PHASE_SYMBOLIC] < 0.5
+
+
+class TestMemoryProfile:
+    def test_basic_fields(self, nvsa_trace):
+        profile = memory_profile(nvsa_trace)
+        assert profile.peak_live_bytes > 0
+        assert profile.parameter_bytes > 0
+        assert profile.codebook_bytes > profile.parameter_bytes
+
+    def test_phase_peaks(self, prae_trace):
+        profile = memory_profile(prae_trace)
+        assert PHASE_SYMBOLIC in profile.peak_live_by_phase
+        assert profile.phase_peak_fraction(PHASE_SYMBOLIC) > 0
+
+    def test_zeroc_neural_memory_heavy(self, zeroc_trace):
+        profile = memory_profile(zeroc_trace)
+        assert profile.traffic_by_phase[PHASE_NEURAL] > \
+            profile.traffic_by_phase[PHASE_SYMBOLIC]
+
+
+class TestBoundedness:
+    def test_nvsa_phases(self, nvsa_trace):
+        bounds = phase_boundedness(nvsa_trace, RTX_2080TI)
+        assert bounds[PHASE_NEURAL] == "compute"
+        assert bounds[PHASE_SYMBOLIC] == "memory"
+
+    def test_roofline_figure_points(self, all_traces):
+        fig = roofline_figure(list(all_traces.values()), RTX_2080TI)
+        assert len(fig.points) == 14  # 7 workloads x 2 phases
+        assert fig.ridge_point == pytest.approx(RTX_2080TI.ridge_point)
+
+
+class TestOpGraph:
+    def test_graph_structure(self, nvsa_trace):
+        graph = build_graph(nvsa_trace)
+        assert graph.number_of_nodes() == len(nvsa_trace)
+        assert graph.number_of_edges() > 0
+
+    def test_nvsa_symbolic_depends_on_neural(self, nvsa_trace):
+        report = analyze_graph(nvsa_trace, RTX_2080TI)
+        assert report.symbolic_depends_on_neural
+
+    def test_nlm_compiles_symbolic_into_neural(self, nlm_trace):
+        """NLM interleaves: symbolic wiring feeds neural MLPs."""
+        report = analyze_graph(nlm_trace, RTX_2080TI)
+        assert report.neural_depends_on_symbolic
+
+    def test_critical_path_bounded_by_total(self, nvsa_trace):
+        report = analyze_graph(nvsa_trace, RTX_2080TI)
+        assert 0 < report.critical_path_time <= report.total_time
+        assert 0 < report.serialization <= 1.0
+
+    def test_symbolic_on_critical_path(self, nvsa_trace):
+        report = analyze_graph(nvsa_trace, RTX_2080TI)
+        assert report.symbolic_on_critical_path > 0.2
+
+
+class TestSparsity:
+    def test_stage_sparsity_selects_stages(self, nvsa_trace):
+        stats = stage_sparsity(nvsa_trace, ["pmf_to_vsa"])
+        assert len(stats) == 1
+        assert stats[0].num_events > 0
+
+    def test_pmf_filter_finds_sparse_tensors(self, nvsa_trace):
+        stats = stage_sparsity(nvsa_trace, ["pmf_to_vsa"],
+                               last_dim_in=[5, 6, 10])
+        assert stats[0].maximum > 0.7
+
+    def test_overall_sparsity_in_range(self, nvsa_trace):
+        value = overall_sparsity(nvsa_trace)
+        assert 0.0 <= value <= 1.0
+
+    def test_missing_stage_yields_nothing(self, nvsa_trace):
+        assert stage_sparsity(nvsa_trace, ["nonexistent"]) == []
+
+
+class TestScaling:
+    def test_nvsa_scaling_study(self):
+        study = nvsa_task_size_study(RTX_2080TI, sizes=(2, 3))
+        assert len(study.points) == 2
+        assert study.growth_factor() > 1.5
+        assert study.symbolic_fraction_range() < 0.15
+
+    def test_generic_sweep(self):
+        study = sweep("nlm", "depth", [2, 4], RTX_2080TI,
+                      fixed_params={"seed": 0})
+        assert study.points[1].num_events > study.points[0].num_events
+
+
+class TestInefficiency:
+    def test_report_shape(self):
+        report = analyze_inefficiency(RTX_2080TI)
+        matrix = report.matrix()
+        assert len(matrix) == 7
+        for row in matrix.values():
+            assert set(row) == {"sgemm_nn", "relu_nn",
+                                "vectorized_elem", "elementwise"}
+
+    def test_paper_observations_hold(self):
+        report = analyze_inefficiency(RTX_2080TI)
+        assert report.symbolic_alu_below_10pct
+        assert report.symbolic_dram_saturated
+        assert report.neural_compute_dominant
+
+    def test_contrast_summary(self):
+        summary = analyze_inefficiency(RTX_2080TI).contrast_summary
+        assert summary["neural_compute_mean"] > \
+            summary["symbolic_compute_mean"]
+        assert summary["symbolic_dram_mean"] > summary["neural_dram_mean"]
+
+
+class TestValidation:
+    def test_valid_trace_passes(self, nvsa_trace):
+        result = validate_trace(nvsa_trace,
+                                expected_phases=(PHASE_NEURAL,
+                                                 PHASE_SYMBOLIC))
+        assert result.ok
+
+    def test_empty_trace_fails(self):
+        result = validate_trace(Trace("empty"))
+        assert not result.ok
+        with pytest.raises(ValueError):
+            result.raise_if_invalid()
+
+    def test_non_causal_parent_detected(self):
+        trace = Trace("bad")
+        trace.append(TraceEvent(eid=0, name="a",
+                                category=OpCategory.OTHER, flops=1.0,
+                                parents=(5,)))
+        result = validate_trace(trace, require_flops=False)
+        assert any("parent" in e for e in result.errors)
+
+    def test_missing_phase_detected(self, nvsa_trace):
+        result = validate_trace(nvsa_trace,
+                                expected_phases=("quantum",))
+        assert not result.ok
+
+    def test_negative_flops_detected(self):
+        trace = Trace("bad")
+        trace.append(TraceEvent(eid=0, name="a",
+                                category=OpCategory.OTHER, flops=-1.0))
+        result = validate_trace(trace, require_flops=False)
+        assert any("negative flops" in e for e in result.errors)
+
+
+class TestSuite:
+    def test_characterize_produces_all_views(self):
+        report = characterize(create("ltn", seed=0))
+        assert report.latency.total_time > 0
+        assert report.operators
+        assert report.memory.peak_live_bytes > 0
+        assert report.opgraph.num_nodes > 0
+        assert report.boundedness
+        assert report.result
+
+    def test_render_is_textual(self):
+        report = characterize(create("ltn", seed=0))
+        text = report.render()
+        assert "ltn" in text
+        assert "latency by phase" in text
+        assert "operator-category" in text

@@ -1,0 +1,91 @@
+"""Tests for taxonomy registries, report rendering, and transfers."""
+
+import pytest
+
+from repro.core.report import (format_bytes, format_cell, format_time,
+                               render_bar, render_shares, render_table)
+from repro.core.taxonomy import (ALGORITHM_REGISTRY, CATEGORY_ORDER,
+                                 OPERATION_EXAMPLES, NSParadigm, OpCategory,
+                                 algorithms_by_paradigm, lookup_algorithm)
+
+
+class TestTaxonomyRegistries:
+    def test_six_categories(self):
+        assert len(CATEGORY_ORDER) == 6
+        assert CATEGORY_ORDER[0] is OpCategory.CONVOLUTION
+        assert CATEGORY_ORDER[-1] is OpCategory.OTHER
+
+    def test_display_names(self):
+        assert OpCategory.MATMUL.display_name == "Matrix Multiplication"
+        assert OpCategory.ELEMENTWISE.display_name == \
+            "Vector/Element-wise Tensor Op"
+
+    def test_five_paradigms(self):
+        assert len(NSParadigm) == 5
+        for paradigm in NSParadigm:
+            assert paradigm.description
+
+    def test_table1_size_and_lookup(self):
+        assert len(ALGORITHM_REGISTRY) == 17
+        nvsa = lookup_algorithm("NVSA")
+        assert nvsa.paradigm is NSParadigm.NEURO_PIPE_SYMBOLIC
+        assert "circular conv." in nvsa.underlying_operations
+        assert nvsa.vector_label == "Vector"
+
+    def test_lookup_case_insensitive(self):
+        assert lookup_algorithm("alphago").name == "AlphaGo"
+        with pytest.raises(KeyError):
+            lookup_algorithm("skynet")
+
+    def test_non_vector_algorithms(self):
+        neurasp = lookup_algorithm("NeurASP")
+        assert neurasp.vector_label == "Non-Vector"
+
+    def test_paradigm_grouping(self):
+        pipelined = algorithms_by_paradigm(NSParadigm.NEURO_PIPE_SYMBOLIC)
+        names = {a.name for a in pipelined}
+        assert {"NVSA", "PrAE", "VSAIT", "LNN"} <= names
+
+    def test_table2_examples(self):
+        assert len(OPERATION_EXAMPLES) == 4
+        ops = {e.operation for e in OPERATION_EXAMPLES}
+        assert "Fuzzy logic" in ops
+        assert "Logic rules" in ops
+
+
+class TestReportRendering:
+    def test_table_alignment(self):
+        text = render_table(["name", "value"],
+                            [["a", 1.5], ["long-name", 0.25]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text
+        assert "1.50" in text
+
+    def test_format_cell_precision(self):
+        assert format_cell(0.123456) == "0.12"
+        assert format_cell(1234567.0) == "1.23e+06"
+        assert format_cell("x") == "x"
+        assert format_cell(3) == "3"
+
+    def test_render_bar_extremes(self):
+        assert render_bar(0.0, 10) == "." * 10
+        assert render_bar(1.0, 10) == "#" * 10
+        assert render_bar(1.5, 10) == "#" * 10  # clipped
+
+    def test_render_shares(self):
+        text = render_shares({"neural": 0.25, "symbolic": 0.75}, width=8)
+        assert "25.0%" in text and "75.0%" in text
+
+    def test_format_time_units(self):
+        assert format_time(2.0) == "2.00 s"
+        assert format_time(0.004) == "4.00 ms"
+        assert format_time(5e-6) == "5.00 us"
+        assert format_time(5e-8) == "50 ns"
+
+    def test_format_bytes_units(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(5767168) == "5.50 MiB"
+        assert format_bytes(3 * 1024 ** 3) == "3.00 GiB"

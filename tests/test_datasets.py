@@ -1,0 +1,267 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (ATTRIBUTES, concept_dataset, concept_graph,
+                            generate_family, generate_path, generate_problem,
+                            generate_sort, instantiate_concept, relation_of,
+                            render_candidates, render_panel, render_problem,
+                            render_segments, smokers_world, two_class_gaussian,
+                            university_kb, unpaired_batch)
+from repro.datasets.concepts import Segment, random_segment
+from repro.datasets.rpm import Panel, RuleSpec, _row_values
+
+
+class TestRPMGenerator:
+    def test_structure(self):
+        p = generate_problem(3, seed=0)
+        assert p.matrix_size == 3
+        assert p.num_context_panels == 8
+        assert len(p.context[-1]) == 2
+        assert len(p.candidates) == 8
+        assert p.candidates[p.answer_index] == p.answer
+
+    def test_candidates_unique(self):
+        p = generate_problem(3, seed=1)
+        tuples = [c.as_tuple() for c in p.candidates]
+        assert len(set(tuples)) == 8
+
+    def test_rules_cover_all_attributes(self):
+        p = generate_problem(3, seed=2)
+        assert set(p.rules) == set(ATTRIBUTES)
+
+    def test_rule_consistency_constant(self):
+        p = generate_problem(3, seed=3, rules={a: "constant"
+                                               for a in ATTRIBUTES})
+        for row in p.context[:-1]:
+            for attr in ATTRIBUTES:
+                values = {panel.attribute(attr) for panel in row}
+                assert len(values) == 1
+
+    def test_rule_consistency_progression(self):
+        p = generate_problem(3, seed=4, rules={a: "progression"
+                                               for a in ATTRIBUTES})
+        for attr in ATTRIBUTES:
+            step = p.rules[attr].parameter
+            domain = ATTRIBUTES[attr]
+            for row in p.context[:-1]:
+                vals = [panel.attribute(attr) for panel in row]
+                for i in range(len(vals) - 1):
+                    assert vals[i + 1] == (vals[i] + step) % domain
+
+    def test_rule_consistency_arithmetic(self):
+        p = generate_problem(3, seed=5, rules={a: "arithmetic"
+                                               for a in ATTRIBUTES})
+        for attr in ATTRIBUTES:
+            sign = p.rules[attr].parameter
+            domain = ATTRIBUTES[attr]
+            for row in p.context[:-1]:
+                a, b, c = [panel.attribute(attr) for panel in row]
+                assert c == (a + sign * b) % domain
+
+    def test_rule_consistency_distribute_three(self):
+        p = generate_problem(3, seed=6, rules={a: "distribute_three"
+                                               for a in ATTRIBUTES})
+        for attr in ATTRIBUTES:
+            sets = [frozenset(panel.attribute(attr) for panel in row)
+                    for row in p.context[:-1]]
+            assert len(set(sets)) == 1  # same value set in every row
+
+    def test_answer_completes_last_row(self):
+        p = generate_problem(3, seed=7, rules={a: "constant"
+                                               for a in ATTRIBUTES})
+        for attr in ATTRIBUTES:
+            first = p.context[-1][0].attribute(attr)
+            assert p.answer.attribute(attr) == first
+
+    def test_matrix_size_2(self):
+        p = generate_problem(2, seed=8)
+        assert p.num_context_panels == 3
+        assert all(r.name != "arithmetic" for r in p.rules.values())
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            generate_problem(1)
+
+    def test_unknown_rule_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            _row_values(RuleSpec("shape", "fibonacci"), 0, 3, 5, rng)
+
+    def test_determinism(self):
+        a = generate_problem(3, seed=9)
+        b = generate_problem(3, seed=9)
+        assert a.answer == b.answer
+        assert [c.as_tuple() for c in a.candidates] == \
+            [c.as_tuple() for c in b.candidates]
+
+
+class TestRPMRendering:
+    def test_panel_image_shape_and_range(self):
+        img = render_panel(Panel(0, 0, 0), 32)
+        assert img.shape == (1, 32, 32)
+        assert img.min() >= 0 and img.max() <= 1.0
+
+    def test_size_monotone_in_area(self):
+        small = render_panel(Panel(1, 0, 5), 32)
+        big = render_panel(Panel(1, 5, 5), 32)
+        assert (big > 0).sum() > (small > 0).sum()
+
+    def test_color_sets_intensity(self):
+        dim = render_panel(Panel(4, 2, 0), 32)
+        bright = render_panel(Panel(4, 2, 9), 32)
+        assert bright.max() > dim.max()
+
+    def test_shapes_distinct(self):
+        imgs = [render_panel(Panel(s, 3, 5), 32) for s in range(5)]
+        masks = [i > 0 for i in imgs]
+        areas = {m.sum() for m in masks}
+        assert len(areas) == 5  # every shape has a distinct fill area
+
+    def test_render_problem_and_candidates(self):
+        p = generate_problem(3, seed=0)
+        ctx = render_problem(p)
+        cand = render_candidates(p)
+        assert ctx.shape == (8, 1, 32, 32)
+        assert cand.shape == (8, 1, 32, 32)
+
+
+class TestGraphTasks:
+    def test_family_predicates(self):
+        task = generate_family(20, seed=0)
+        assert task.unary.shape == (20, 2)
+        assert task.binary.shape == (20, 20, 1)
+        # every child has at most two parents
+        assert (task.binary[:, :, 0].sum(axis=0) <= 2).all()
+
+    def test_grandparent_consistency(self):
+        task = generate_family(24, seed=1)
+        parent = task.binary[:, :, 0]
+        expected = np.clip(parent @ parent, 0, 1)
+        np.testing.assert_array_equal(task.targets["grandparent"],
+                                      expected)
+
+    def test_sibling_irreflexive(self):
+        task = generate_family(20, seed=2)
+        assert np.diag(task.targets["sibling"]).sum() == 0
+
+    def test_family_min_size(self):
+        with pytest.raises(ValueError):
+            generate_family(1)
+
+    def test_sort_task(self):
+        task = generate_sort(10, seed=0)
+        assert task.less_than.shape == (10, 10)
+        sorted_vals = task.values[np.argsort(task.target_rank)]
+        assert (np.diff(sorted_vals) > 0).all()
+
+    def test_path_task_valid(self):
+        task = generate_path(4, seed=0)
+        assert task.shortest_path[0] == task.source
+        assert task.shortest_path[-1] == task.target
+        for u, v in zip(task.shortest_path, task.shortest_path[1:]):
+            assert task.adjacency[u, v] == 1.0
+
+
+class TestKBGenerators:
+    def test_university_kb_facts(self):
+        kb = university_kb(num_departments=1, seed=0)
+        assert kb.num_facts > 20
+        assert len(kb.rules) == 5
+
+    def test_university_kb_derives(self):
+        kb = university_kb(num_departments=1, seed=0)
+        stats = kb.forward_chain()
+        assert stats.facts_derived > 0
+        assert len(kb.facts("taught_by")) > 0
+
+    def test_smokers_world_consistency(self):
+        world = smokers_world(20, seed=0)
+        np.testing.assert_array_equal(world.friends, world.friends.T)
+        assert np.diag(world.friends).sum() == 0
+        # smoking raises cancer incidence in the generative model
+        smokers = world.cancer[world.smokes > 0.5].mean() \
+            if (world.smokes > 0.5).any() else 1.0
+        others = world.cancer[world.smokes < 0.5].mean() \
+            if (world.smokes < 0.5).any() else 0.0
+        assert smokers >= others
+
+
+class TestImagesAndConcepts:
+    def test_unpaired_batch_shapes(self):
+        batch = unpaired_batch(3, 32, seed=0)
+        assert batch.source.shape == (3, 3, 32, 32)
+        assert batch.target.shape == (3, 3, 32, 32)
+        assert batch.source.min() >= 0 and batch.source.max() <= 1
+
+    def test_domains_differ(self):
+        batch = unpaired_batch(2, 32, seed=1)
+        # different appearance statistics between domains
+        assert abs(batch.source.mean() - batch.target.mean()) > 0.01
+
+    def test_segment_cells(self):
+        seg = Segment("h", 3, 2, 4)
+        assert seg.cells() == [(3, 2), (3, 3), (3, 4), (3, 5)]
+
+    def test_render_segments(self):
+        img = render_segments([Segment("v", 0, 5, 6)], 16)
+        assert img[0, :6, 5].sum() == 6
+
+    def test_relation_of(self):
+        h = Segment("h", 0, 0, 4)
+        v = Segment("v", 0, 0, 4)
+        assert relation_of(h, v) == "perpendicular"
+        assert relation_of(h, Segment("h", 5, 0, 4)) == "parallel"
+
+    def test_concept_graphs(self):
+        lshape = concept_graph("Lshape")
+        assert lshape.number_of_nodes() == 2
+        rect = concept_graph("rect")
+        assert rect.number_of_nodes() == 4
+        assert rect.number_of_edges() == 6
+        with pytest.raises(ValueError):
+            concept_graph("spiral")
+
+    def test_instantiate_matches_graph(self):
+        rng = np.random.default_rng(0)
+        segs = instantiate_concept("Lshape", rng, 16)
+        assert len(segs) == 2
+        assert relation_of(segs[0], segs[1]) == "perpendicular"
+        pair = instantiate_concept("parallel_pair", rng, 16)
+        assert relation_of(pair[0], pair[1]) == "parallel"
+
+    def test_concept_dataset_composition(self):
+        data = concept_dataset(("Lshape",), per_concept=3, seed=0)
+        labels = [ex.label for ex in data]
+        assert labels.count("Lshape") == 3
+        assert labels.count("noise") == 3
+
+    def test_random_segment_in_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            seg = random_segment(rng, 16)
+            for r, c in seg.cells():
+                assert 0 <= r < 16 and 0 <= c < 16
+
+
+class TestTabular:
+    def test_shapes_and_balance(self):
+        data = two_class_gaussian(100, 5, seed=0)
+        assert data.features.shape == (100, 5)
+        assert set(np.unique(data.labels)) == {0, 1}
+        assert abs(int((data.labels == 0).sum()) - 50) <= 1
+
+    def test_separation_increases_distance(self):
+        near = two_class_gaussian(200, 4, separation=0.5, seed=1)
+        far = two_class_gaussian(200, 4, separation=5.0, seed=1)
+
+        def class_distance(d):
+            a, b = d.class_split()
+            return np.linalg.norm(a.mean(axis=0) - b.mean(axis=0))
+
+        assert class_distance(far) > class_distance(near)
+
+    def test_min_samples(self):
+        with pytest.raises(ValueError):
+            two_class_gaussian(1)

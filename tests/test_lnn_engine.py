@@ -1,0 +1,154 @@
+"""Tests for the propositional formula-tree LNN engine."""
+
+import numpy as np
+import pytest
+
+from repro.logic.fol import And, Implies, Not, Or
+from repro.logic.lnn_engine import (FormulaNeuronNetwork, InferenceStats,
+                                    proposition, prove)
+
+# the LNN paper's running example:
+# (whiskers & tail & (laser_pointer -> chases)) -> cat;  (cat | dog) -> pet
+whiskers = proposition("whiskers")
+tail = proposition("tail")
+laser = proposition("laser_pointer")
+chases = proposition("chases")
+cat = proposition("cat")
+dog = proposition("dog")
+pet = proposition("pet")
+
+CAT_AXIOMS = [
+    Implies(And(whiskers, And(tail, Implies(laser, chases))), cat),
+    Implies(Or(cat, dog), pet),
+]
+
+
+class TestModusPonensChains:
+    def test_paper_cat_example(self):
+        proved, bounds, stats = prove(
+            CAT_AXIOMS,
+            {"whiskers": 1.0, "tail": 1.0, "chases": 1.0},
+            goal="pet")
+        assert proved
+        assert bounds[0] == pytest.approx(1.0)
+        assert stats.converged
+
+    def test_chain_of_implications(self):
+        a, b, c, d = (proposition(x) for x in "abcd")
+        axioms = [Implies(a, b), Implies(b, c), Implies(c, d)]
+        proved, bounds, stats = prove(axioms, {"a": 1.0}, goal="d")
+        assert proved
+        assert stats.passes >= 1
+
+    def test_unsupported_goal_unproved(self):
+        a, b = proposition("a"), proposition("b")
+        proved, bounds, _ = prove([Implies(a, b)], {}, goal="b")
+        assert not proved
+        assert bounds == (0.0, 1.0)  # agnostic
+
+    def test_unknown_goal_name(self):
+        a, b = proposition("a"), proposition("b")
+        proved, bounds, _ = prove([Implies(a, b)], {"a": 1.0}, goal="z")
+        assert not proved
+
+
+class TestModusTollens:
+    def test_false_consequent_bounds_antecedent(self):
+        a, b = proposition("a"), proposition("b")
+        network = FormulaNeuronNetwork([Implies(a, b)])
+        network.assert_fact("b", 0.0)
+        network.infer()
+        lower, upper = network.bounds_of("a")
+        assert upper == pytest.approx(0.0, abs=1e-6)
+
+    def test_disjunction_elimination(self):
+        a, b = proposition("a"), proposition("b")
+        network = FormulaNeuronNetwork([Or(a, b)])
+        network.assert_fact("b", 0.0)
+        network.infer()
+        lower, _ = network.bounds_of("a")
+        assert lower == pytest.approx(1.0, abs=1e-6)
+
+    def test_conjunction_elimination(self):
+        a, b = proposition("a"), proposition("b")
+        # axiom asserts (a & b) true -> both conjuncts true
+        network = FormulaNeuronNetwork([And(a, b)])
+        network.infer()
+        assert network.bounds_of("a")[0] == pytest.approx(1.0)
+        assert network.bounds_of("b")[0] == pytest.approx(1.0)
+
+    def test_negation(self):
+        a = proposition("a")
+        network = FormulaNeuronNetwork([Not(a)])
+        network.infer()
+        assert network.bounds_of("a")[1] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestPartialTruth:
+    def test_fuzzy_fact_propagates_lukasiewicz(self):
+        a, b = proposition("a"), proposition("b")
+        network = FormulaNeuronNetwork([Implies(a, b)])
+        network.assert_fact("a", 0.7)
+        network.infer()
+        lower, _ = network.bounds_of("b")
+        # (a -> b) = 1 and a = 0.7 gives b >= 0.7 under Lukasiewicz
+        assert lower == pytest.approx(0.7, abs=1e-5)
+
+    def test_bounds_never_widen(self):
+        a, b = proposition("a"), proposition("b")
+        network = FormulaNeuronNetwork([Implies(a, b)])
+        network.assert_fact("a", 1.0)
+        network.infer()
+        before = network.bounds_of("b")
+        network.infer()
+        after = network.bounds_of("b")
+        assert after[0] >= before[0] - 1e-9
+        assert after[1] <= before[1] + 1e-9
+
+
+class TestRandomTheories:
+    """TPTP-flavoured random implication theories: the engine must
+    agree with a discrete forward-chaining oracle."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_forward_chaining(self, seed):
+        rng = np.random.default_rng(seed)
+        num_props = 12
+        props = [proposition(f"p{i}") for i in range(num_props)]
+        axioms = []
+        edges = []
+        for _ in range(16):
+            a, b = rng.choice(num_props, size=2, replace=False)
+            axioms.append(Implies(props[a], props[b]))
+            edges.append((int(a), int(b)))
+        roots = set(int(r) for r in rng.choice(num_props, size=2,
+                                               replace=False))
+
+        # discrete oracle: transitive closure from the roots
+        reachable = set(roots)
+        changed = True
+        while changed:
+            changed = False
+            for a, b in edges:
+                if a in reachable and b not in reachable:
+                    reachable.add(b)
+                    changed = True
+
+        network = FormulaNeuronNetwork(axioms)
+        for root in roots:
+            network.assert_fact(f"p{root}", 1.0)
+        stats = network.infer(max_passes=num_props + 2)
+        assert stats.converged
+        for i in range(num_props):
+            lower, _ = network.bounds_of(f"p{i}")
+            if i in reachable:
+                assert lower == pytest.approx(1.0, abs=1e-5), i
+            else:
+                assert lower < 0.99, i
+
+    def test_stats_counters(self):
+        proved, _, stats = prove(CAT_AXIOMS, {"whiskers": 1.0,
+                                              "tail": 1.0,
+                                              "chases": 1.0}, "pet")
+        assert stats.upward_evaluations > 0
+        assert stats.downward_updates > 0

@@ -1,0 +1,202 @@
+"""Tests for the heterogeneous system model, energy estimation,
+function-level profiling, chrome export, and the CLI."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.cli import main as cli_main
+from repro.core.functions import (function_table, render_function_table,
+                                  to_chrome_trace)
+from repro.core.profiler import PHASE_NEURAL, PHASE_SYMBOLIC
+from repro.hwsim import (JETSON_TX2, RTX_2080TI, XEON_4114,
+                         HeterogeneousSystem, default_placement,
+                         estimate_energy, gpu_only_placement)
+from repro.core.taxonomy import OpCategory
+from tests.conftest import cached_trace
+
+
+class TestHeterogeneousSystem:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return HeterogeneousSystem(XEON_4114, RTX_2080TI)
+
+    def test_default_placement_splits_by_category(self):
+        from repro.core.profiler import TraceEvent
+        logic = TraceEvent(eid=0, name="rule", category=OpCategory.OTHER)
+        gemm = TraceEvent(eid=1, name="matmul",
+                          category=OpCategory.MATMUL)
+        assert default_placement(logic) == "cpu"
+        assert default_placement(gemm) == "gpu"
+        assert gpu_only_placement(logic) == "gpu"
+
+    def test_projection_covers_all_events(self, system, nvsa_trace):
+        report = system.project(nvsa_trace)
+        assert len(report.costs) == len(nvsa_trace)
+        assert report.total_time > 0
+
+    def test_cross_device_transfers_charged(self, system, lnn_trace):
+        """LNN mixes logic regions (CPU) with tensor ops (GPU), so
+        tensors cross the link."""
+        report = system.project(lnn_trace)
+        assert report.transfer_time >= 0
+        devices = {c.device for c in report.costs}
+        assert devices == {"cpu", "gpu"}
+
+    def test_gpu_only_has_no_transfers(self, nvsa_trace):
+        system = HeterogeneousSystem(XEON_4114, RTX_2080TI,
+                                     placement=gpu_only_placement)
+        report = system.project(nvsa_trace)
+        assert report.transfer_time == 0.0
+
+    def test_time_by_device_partitions(self, system, nvsa_trace):
+        report = system.project(nvsa_trace)
+        by_device = report.time_by_device()
+        assert set(by_device) <= {"cpu", "gpu", "pcie"}
+        assert sum(by_device.values()) == pytest.approx(
+            report.total_time, rel=1e-6)
+
+    def test_synthetic_pingpong_transfers(self):
+        """Alternating CPU/GPU consumers force repeated transfers."""
+        with T.profile("pingpong") as prof:
+            x = T.tensor(np.ones((256, 256), dtype=np.float32))
+            y = T.matmul(x, x)               # gpu (matmul)
+            z = T.fuzzy_not(y)               # cpu (other)
+            w = T.matmul(z, z)               # gpu again
+        system = HeterogeneousSystem(XEON_4114, RTX_2080TI)
+        report = system.project(prof.trace)
+        moved = sum(c.transfer_bytes for c in report.costs)
+        assert moved >= 2 * 256 * 256 * 4
+
+
+class TestEnergy:
+    def test_energy_positive_and_decomposes(self, nvsa_trace):
+        report = estimate_energy(nvsa_trace, RTX_2080TI)
+        assert report.total_energy > 0
+        assert report.static_energy > 0
+        assert report.dynamic_energy >= 0
+        assert sum(report.energy_by_phase.values()) == pytest.approx(
+            report.total_energy, rel=0.05)
+
+    def test_average_power_below_tdp(self, nvsa_trace):
+        report = estimate_energy(nvsa_trace, RTX_2080TI)
+        assert 0 < report.average_power <= RTX_2080TI.tdp_watts
+
+    def test_edge_lower_power(self, nvsa_trace):
+        rtx = estimate_energy(nvsa_trace, RTX_2080TI)
+        tx2 = estimate_energy(nvsa_trace, JETSON_TX2)
+        assert tx2.average_power < rtx.average_power
+        assert tx2.total_time > rtx.total_time
+
+    def test_requires_tdp(self, nvsa_trace):
+        no_tdp = dataclasses.replace(RTX_2080TI, tdp_watts=0.0)
+        with pytest.raises(ValueError):
+            estimate_energy(nvsa_trace, no_tdp)
+
+
+class TestFunctionTable:
+    def test_aggregates_by_name(self, nvsa_trace):
+        stats = function_table(nvsa_trace, RTX_2080TI)
+        names = [s.name for s in stats]
+        assert len(names) == len(set(names))
+        total_calls = sum(s.calls for s in stats)
+        assert total_calls == len(nvsa_trace)
+
+    def test_sorted_by_total_time(self, nvsa_trace):
+        stats = function_table(nvsa_trace, RTX_2080TI)
+        times = [s.total_time for s in stats]
+        assert times == sorted(times, reverse=True)
+
+    def test_phase_filter(self, nvsa_trace):
+        symbolic = function_table(nvsa_trace, RTX_2080TI,
+                                  phase=PHASE_SYMBOLIC)
+        assert all(s.name != "conv2d" for s in symbolic)
+
+    def test_bad_sort_key(self, nvsa_trace):
+        with pytest.raises(ValueError):
+            function_table(nvsa_trace, RTX_2080TI, sort_by="vibes")
+
+    def test_render_contains_top_op(self, nvsa_trace):
+        stats = function_table(nvsa_trace, RTX_2080TI)
+        text = render_function_table(stats, top=5)
+        assert stats[0].name in text
+
+    def test_chrome_export_is_valid_json(self, ltn_trace):
+        payload = json.loads(to_chrome_trace(ltn_trace, RTX_2080TI))
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(ltn_trace)
+        tracks = {e["tid"] for e in events}
+        assert len(tracks) >= 2  # neural + symbolic lanes
+
+    def test_chrome_events_non_overlapping_per_track(self, ltn_trace):
+        payload = json.loads(to_chrome_trace(ltn_trace, RTX_2080TI))
+        by_track = {}
+        for event in payload["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            by_track.setdefault(event["tid"], []).append(event)
+        for events in by_track.values():
+            cursor = 0.0
+            for event in events:
+                assert event["ts"] >= cursor - 1e-9
+                cursor = event["ts"] + event["dur"]
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "nvsa" in out and "paradigm" in out
+
+    def test_characterize(self, capsys):
+        assert cli_main(["characterize", "ltn", "--device", "rtx"]) == 0
+        out = capsys.readouterr().out
+        assert "latency by phase" in out
+
+    def test_functions(self, capsys):
+        assert cli_main(["functions", "ltn", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "function-level statistics" in out
+
+    def test_energy(self, capsys):
+        assert cli_main(["energy", "ltn", "--device", "tx2"]) == 0
+        out = capsys.readouterr().out
+        assert "average power" in out
+
+    def test_chrome_to_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        assert cli_main(["chrome", "ltn", "-o", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["traceEvents"]
+
+    def test_roster(self, capsys):
+        assert cli_main(["roster", "--device", "rtx"]) == 0
+        out = capsys.readouterr().out
+        assert "NVSA" in out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            cli_main(["characterize", "hal9000"])
+
+
+class TestCLITraceArchive:
+    def test_save_and_analyze_round_trip(self, tmp_path, capsys):
+        target = tmp_path / "ltn.json"
+        assert cli_main(["save-trace", "ltn", "-o", str(target)]) == 0
+        capsys.readouterr()
+        assert cli_main(["analyze-trace", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "latency by phase" in out
+        assert "function-level statistics" in out
+
+    def test_analyze_trace_device_option(self, tmp_path, capsys):
+        target = tmp_path / "ltn.json"
+        cli_main(["save-trace", "ltn", "-o", str(target)])
+        capsys.readouterr()
+        assert cli_main(["analyze-trace", str(target),
+                         "--device", "tx2"]) == 0
+        out = capsys.readouterr().out
+        assert "Jetson TX2" in out

@@ -1,0 +1,110 @@
+"""Cross-family VSA algebra laws, property-tested over all four spaces
+(bipolar, binary, holographic, FHRR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tensor as T
+from repro.vsa import make_space
+
+SPACES = ("bipolar", "binary", "holographic", "fhrr")
+DIM = 512
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def _sim(space, a, b) -> float:
+    return float(np.asarray(space.similarity(a, b).numpy()).reshape(-1)[0])
+
+
+class TestUniversalLaws:
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_self_similarity_maximal(self, kind, seed):
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        a = space.random(rng, 1)
+        assert _sim(space, a, a) == pytest.approx(1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_random_pairs_quasi_orthogonal(self, kind, seed):
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        a = space.random(rng, 1)
+        b = space.random(rng, 1)
+        sim = _sim(space, a, b)
+        if kind == "binary":
+            assert 0.3 < sim < 0.7   # Hamming-style similarity
+        else:
+            assert abs(sim) < 0.25
+
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_unbind_inverts_bind(self, kind, seed):
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        key = space.random(rng, 1)
+        value = space.random(rng, 1)
+        bound = space.bind(key, value)
+        recovered = space.unbind(key, bound)
+        # exact for bipolar/binary/FHRR; approximate for HRR
+        threshold = 0.4 if kind == "holographic" else 0.95
+        assert _sim(space, recovered, value) > threshold
+
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_binding_is_commutative(self, kind, seed):
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        a = space.random(rng, 1)
+        b = space.random(rng, 1)
+        ab = space.bind(a, b)
+        ba = space.bind(b, a)
+        assert _sim(space, ab, ba) == pytest.approx(1.0, abs=1e-4)
+
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_bundle_preserves_membership(self, kind, seed):
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        members = space.random(rng, 3)
+        bundled = space.bundle(members)
+        outsider = space.random(rng, 1)
+        member = T.index(members, 0)
+        member_sim = _sim(space, bundled, member)
+        outsider_sim = _sim(space, bundled, outsider)
+        assert member_sim > outsider_sim
+
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_binding_destroys_similarity(self, kind, seed):
+        """bind(a, k) is dissimilar to a (the 'binding problem' fix)."""
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        a = space.random(rng, 1)
+        k = space.random(rng, 1)
+        bound = space.bind(a, k)
+        sim = _sim(space, bound, a)
+        if kind == "binary":
+            assert 0.25 < sim < 0.75
+        else:
+            assert abs(sim) < 0.25
+
+    @pytest.mark.parametrize("kind", SPACES)
+    @given(seed=seeds, shift=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=8, deadline=None)
+    def test_permute_invertible(self, kind, seed, shift):
+        space = make_space(kind, DIM)
+        rng = np.random.default_rng(seed)
+        a = space.random(rng, 1)
+        back = space.permute(space.permute(a, shift), -shift)
+        assert _sim(space, back, a) == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,130 @@
+"""Tests for the logic-centric workloads: LNN, LTN, NLM."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import PHASE_NEURAL, PHASE_SYMBOLIC
+from repro.workloads.lnn import LNNWorkload
+from repro.workloads.ltn import LTNWorkload
+from repro.workloads.nlm import NLMWorkload
+from tests.conftest import cached_trace
+
+
+class TestLNN:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return cached_trace("lnn", seed=0)
+
+    def test_proves_derived_relations(self, trace):
+        result = trace.metadata["result"]
+        assert result["proven_taught_by"] > 0
+        assert result["proven_academic_contact"] >= \
+            result["proven_taught_by"]
+
+    def test_no_contradictions(self, trace):
+        assert trace.metadata["result"]["contradictions"] == 0
+
+    def test_converges_before_max_passes(self, trace):
+        assert trace.metadata["result"]["passes"] <= 6
+
+    def test_bidirectional_phases(self, trace):
+        stages = set(trace.stages())
+        assert "upward" in stages
+        assert "downward" in stages
+
+    def test_proofs_match_forward_chaining(self):
+        """LNN's bound propagation proves exactly the Horn-derivable
+        taught_by facts."""
+        w = LNNWorkload(seed=0)
+        w.build()
+        import repro.tensor as T
+        with T.profile("t"):
+            result = w.run()
+        kb = w.kb
+        kb.forward_chain()
+        assert result["proven_taught_by"] == len(kb.facts("taught_by"))
+
+    def test_scales_with_kb_size(self):
+        small = cached_trace("lnn", students_per_dept=6, seed=0)
+        large = cached_trace("lnn", students_per_dept=16, seed=0)
+        assert large.total_bytes > small.total_bytes
+
+    def test_logic_rule_events_recorded(self, trace):
+        names = trace.count_by_name()
+        assert "kb_forward_chain" in names
+        assert "scatter_max" in names
+        assert "scatter_min" in names
+
+
+class TestLTN:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return cached_trace("ltn", seed=0)
+
+    def test_satisfaction_meaningfully_high(self, trace):
+        assert trace.metadata["result"]["satisfaction"] > 0.6
+
+    def test_axioms_individually_bounded(self, trace):
+        for name, truth in trace.metadata["result"]["axioms"].items():
+            assert 0.0 <= truth <= 1.0, name
+
+    def test_query_reflects_world_structure(self, trace):
+        result = trace.metadata["result"]
+        assert result["query_cancer_given_smokes"] > \
+            result["query_cancer_given_not_smokes"]
+
+    def test_self_friendship_axiom_near_true(self, trace):
+        axioms = trace.metadata["result"]["axioms"]
+        assert axioms["no_self_friendship"] > 0.8
+
+    def test_fuzzy_ops_in_trace(self, trace):
+        names = trace.count_by_name()
+        assert any(name.startswith("fuzzy_implies") for name in names)
+        assert "fuzzy_not" in names
+
+    def test_grounding_is_neural_axioms_symbolic(self, trace):
+        for event in trace:
+            if event.stage == "grounding":
+                assert event.phase == PHASE_NEURAL
+            if event.stage == "axioms":
+                assert event.phase == PHASE_SYMBOLIC
+
+
+class TestNLM:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return cached_trace("nlm", seed=0)
+
+    def test_grandparent_accuracy(self, trace):
+        assert trace.metadata["result"]["grandparent_accuracy"] > 0.9
+
+    def test_breadth_validation(self):
+        with pytest.raises(ValueError):
+            NLMWorkload(breadth=1)
+
+    def test_layer_wiring_stages(self, trace):
+        stages = set(trace.stages())
+        assert "wiring_layer0" in stages
+        assert "mlp_layer0" in stages
+        assert "readout" in stages
+
+    def test_depth_scales_events(self):
+        shallow = cached_trace("nlm", depth=2, seed=0)
+        deep = cached_trace("nlm", depth=6, seed=0)
+        assert len(deep) > len(shallow)
+
+    def test_ternary_tensors_exist(self, trace):
+        """Breadth 3 produces rank-4 tensors (n, n, n, C)."""
+        assert any(len(e.output_shape) == 4 for e in trace)
+
+    def test_wiring_is_symbolic_mlp_is_neural(self, trace):
+        for event in trace:
+            if event.stage.startswith("wiring"):
+                assert event.phase == PHASE_SYMBOLIC
+            if event.stage.startswith("mlp"):
+                assert event.phase == PHASE_NEURAL
+
+    def test_num_objects_scales_bytes(self):
+        small = cached_trace("nlm", num_objects=10, seed=0)
+        large = cached_trace("nlm", num_objects=24, seed=0)
+        assert large.total_bytes > small.total_bytes
