@@ -1,0 +1,73 @@
+"""Resilient-runner overhead on the healthy path.
+
+The ISSUE-1 budget: wrapping a workload in :class:`ResilientRunner`
+(worker thread, health checks, breaker bookkeeping) must cost <5% over
+calling ``characterize`` directly when nothing goes wrong.  Measured on
+the two trace-heaviest roster members (NVSA, PrAE) using best-of-N
+wall times, which suppresses scheduler noise the way overhead
+comparisons should.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.report import format_time, render_table
+from repro.core.suite import characterize
+from repro.hwsim import RTX_2080TI
+from repro.resilience.runner import ResilientRunner, RetryPolicy
+from repro.workloads import create
+
+from conftest import emit
+
+WORKLOADS = ("nvsa", "prae")
+ROUNDS = 5
+OVERHEAD_BUDGET = 0.05
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def measure_overhead():
+    runner = ResilientRunner(device=RTX_2080TI, timeout=300.0,
+                             retry=RetryPolicy(max_retries=0))
+    rows = []
+    overheads = {}
+    for name in WORKLOADS:
+        characterize(create(name, seed=0), RTX_2080TI)  # warm caches
+
+        def direct_run():
+            characterize(create(name, seed=0), RTX_2080TI)
+
+        def resilient_run():
+            outcome = runner.run_workload(name, seed=0)
+            assert outcome.status == "ok", outcome.status
+
+        # interleave rounds so machine drift hits both paths equally
+        direct, resilient_time = float("inf"), float("inf")
+        for _ in range(ROUNDS):
+            direct = min(direct, _timed(direct_run))
+            resilient_time = min(resilient_time, _timed(resilient_run))
+
+        overhead = resilient_time / direct - 1.0
+        overheads[name] = overhead
+        rows.append([name.upper(), format_time(direct),
+                     format_time(resilient_time),
+                     f"{overhead * 100:+.2f}%"])
+    return rows, overheads
+
+
+def test_resilient_runner_overhead(benchmark):
+    rows, overheads = benchmark.pedantic(measure_overhead, rounds=1,
+                                         iterations=1)
+    emit("resilience_overhead", render_table(
+        ["workload", "direct", "resilient runner", "overhead"], rows,
+        title="resilient-runner overhead on the healthy path "
+              f"(budget {OVERHEAD_BUDGET:.0%}, best of {ROUNDS})"))
+    for name, overhead in overheads.items():
+        assert overhead < OVERHEAD_BUDGET, (
+            f"{name}: runner overhead {overhead:.1%} exceeds "
+            f"{OVERHEAD_BUDGET:.0%} budget")

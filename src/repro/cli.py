@@ -6,10 +6,14 @@ Usage (``python -m repro ...``):
     python -m repro characterize nvsa --device tx2
     python -m repro functions nvsa --phase symbolic --top 10
     python -m repro roster --device rtx
+    python -m repro roster --resilient --timeout 60 --max-retries 2
+    python -m repro faults nvsa --fault nan --seed 0
     python -m repro chrome nvsa -o nvsa_trace.json
     python -m repro energy nvsa
 
 Everything routes through the same public API the benchmarks use.
+``faults`` runs an injection experiment and exits nonzero (2 degraded,
+3 failed) with a quarantine report instead of a traceback.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.core.report import format_time, render_table
 from repro.core.suite import characterize
 from repro.hwsim.devices import get_device
 from repro.hwsim.energy import estimate_energy
+from repro.resilience.faults import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.workloads import PAPER_ORDER, available, create
 
 
@@ -69,6 +74,42 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="latency split of the paper's roster")
     roster.add_argument("--device", default="rtx")
     roster.add_argument("--seed", type=int, default=0)
+    roster.add_argument("--resilient", action="store_true",
+                        help="run with timeouts/retries/health checks; "
+                             "degrade instead of aborting")
+    roster.add_argument("--timeout", type=float, default=120.0,
+                        help="per-workload wall-clock budget in seconds "
+                             "(resilient mode)")
+    roster.add_argument("--max-retries", type=int, default=2,
+                        help="retries per workload on transient errors "
+                             "(resilient mode)")
+
+    faults = sub.add_parser(
+        "faults",
+        help="run one workload under a deterministic fault-injection "
+             "plan and report its health")
+    faults.add_argument("workload", help="registered workload name")
+    faults.add_argument("--fault", required=True,
+                        choices=list(FAULT_KINDS),
+                        help="fault kind to inject")
+    faults.add_argument("--device", default="rtx")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (also the workload seed)")
+    faults.add_argument("--rate", type=float, default=1.0,
+                        help="per-op injection probability")
+    faults.add_argument("--op-name", default=None,
+                        help="restrict injection to one op name")
+    faults.add_argument("--op-index", type=int, default=None,
+                        help="inject at exactly this dispatch index")
+    faults.add_argument("--phase", default=None,
+                        help="restrict injection to one phase")
+    faults.add_argument("--latency", type=float, default=0.05,
+                        help="seconds added per latency fault")
+    faults.add_argument("--alloc-bytes", type=int, default=1 << 30,
+                        help="live bytes added per alloc fault")
+    faults.add_argument("--timeout", type=float, default=120.0)
+    faults.add_argument("--max-retries", type=int, default=0,
+                        help="retries (default 0: report first outcome)")
     return parser
 
 
@@ -108,6 +149,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table(["name", "paradigm", "application"], rows,
                            title="registered workloads"))
         return 0
+
+    if args.command == "faults":
+        _require_workload(args.workload)
+        from repro.resilience.runner import ResilientRunner, RetryPolicy
+        device = get_device(args.device)
+        try:
+            plan = FaultPlan([FaultSpec(
+                kind=args.fault, rate=args.rate, op_name=args.op_name,
+                phase=args.phase, op_index=args.op_index,
+                latency=args.latency, alloc_bytes=args.alloc_bytes,
+            )], seed=args.seed)
+        except ValueError as exc:
+            raise SystemExit(f"repro faults: {exc}")
+        runner = ResilientRunner(
+            device=device, timeout=args.timeout,
+            retry=RetryPolicy(max_retries=args.max_retries))
+        outcome = runner.run_workload(args.workload, seed=args.seed,
+                                      fault_plan=plan)
+        print(f"fault-injection experiment: {args.workload} "
+              f"under {args.fault!r} (seed {args.seed})")
+        print(plan.describe())
+        print()
+        if outcome.health is not None:
+            print(outcome.health.render())
+        if outcome.status == "failed":
+            print(f"status: failed after {outcome.attempts} attempt(s) "
+                  f"[{outcome.error_class}] -> "
+                  f"{outcome.error_type}: {outcome.error}")
+            return 3
+        if outcome.status == "degraded":
+            print(f"status: degraded (quarantined) — failing checks: "
+                  f"{', '.join(outcome.health.failing())}")
+            return 2
+        print("status: ok — the plan did not compromise this run")
+        return 0
+
+    if args.command == "roster" and args.resilient:
+        from repro.resilience.runner import (ResilientRunner, RetryPolicy,
+                                             run_roster)
+        device = get_device(args.device)
+        runner = ResilientRunner(
+            device=device, timeout=args.timeout,
+            retry=RetryPolicy(max_retries=args.max_retries))
+        report = run_roster(names=PAPER_ORDER, runner=runner,
+                            seed=args.seed)
+        print(report.render())
+        return 0 if report.healthy else 1
 
     if args.command == "roster":
         device = get_device(args.device)

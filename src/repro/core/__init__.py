@@ -43,7 +43,8 @@ _EXPORTS: Dict[str, str] = {
     "StageSparsity": "sparsity", "nvsa_attribute_sweep": "sparsity",
     "overall_sparsity": "sparsity", "stage_sparsity": "sparsity",
     "WorkloadReport": "suite", "characterize": "suite",
-    "characterize_all": "suite",
+    "characterize_all": "suite", "characterize_trace": "suite",
+    "RosterError": "suite",
     "ALGORITHM_REGISTRY": "taxonomy", "CATEGORY_ORDER": "taxonomy",
     "OPERATION_EXAMPLES": "taxonomy", "AlgorithmEntry": "taxonomy",
     "NSParadigm": "taxonomy", "OpCategory": "taxonomy",

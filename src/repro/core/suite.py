@@ -49,13 +49,21 @@ class WorkloadReport:
 
     def render(self) -> str:
         """Human-readable multi-section report."""
+        total = self.latency.total_time
+        if total > 0:
+            phase_block = render_shares(
+                {p: t / total for p, t in self.latency.phase_times.items()},
+                title="latency by phase")
+        else:
+            # empty or all-zero-cost trace: shares are undefined
+            phase_block = "\n".join(
+                ["latency by phase"]
+                + [f"{p}  n/a" for p in self.latency.phase_times])
         parts: List[str] = [
             f"=== {self.workload} on {self.device} ===",
-            f"total projected latency: {format_time(self.latency.total_time)}",
+            f"total projected latency: {format_time(total)}",
             "",
-            render_shares({p: t / self.latency.total_time
-                           for p, t in self.latency.phase_times.items()},
-                          title="latency by phase"),
+            phase_block,
             "",
         ]
         rows = []
@@ -87,11 +95,10 @@ class WorkloadReport:
         return "\n".join(parts)
 
 
-def characterize(workload: "Workload",
-                 device: DeviceSpec = RTX_2080TI,
-                 validate: bool = True) -> WorkloadReport:
-    """Profile one workload and derive every analysis view."""
-    trace = workload.profile()
+def characterize_trace(trace: Trace,
+                       device: DeviceSpec = RTX_2080TI,
+                       validate: bool = True) -> WorkloadReport:
+    """Derive every analysis view from an already-collected trace."""
     if validate:
         validate_trace(
             trace,
@@ -112,13 +119,57 @@ def characterize(workload: "Workload",
     )
 
 
+def characterize(workload: "Workload",
+                 device: DeviceSpec = RTX_2080TI,
+                 validate: bool = True) -> WorkloadReport:
+    """Profile one workload and derive every analysis view."""
+    return characterize_trace(workload.profile(), device, validate=validate)
+
+
+class RosterError(RuntimeError):
+    """One or more roster workloads failed; the rest still completed.
+
+    Raised by :func:`characterize_all` *after* the full roster has been
+    attempted, so callers keep every successful
+    :class:`WorkloadReport` (``.reports``) alongside the per-workload
+    failures (``.failures``, a list of ``(name, exception)`` pairs).
+    For execution that degrades instead of raising, use
+    :func:`repro.resilience.run_roster`.
+    """
+
+    def __init__(self, failures: List[tuple], reports: List[WorkloadReport]):
+        self.failures = failures
+        self.reports = reports
+        succeeded = ", ".join(r.workload for r in reports) or "none"
+        detail = "; ".join(
+            f"{name}: {type(exc).__name__}: {exc}"
+            for name, exc in failures)
+        super().__init__(
+            f"{len(failures)} of {len(failures) + len(reports)} roster "
+            f"workloads failed ({detail}); succeeded: {succeeded}")
+
+
 def characterize_all(device: DeviceSpec = RTX_2080TI,
                      names: Optional[Sequence[str]] = None,
                      **workload_params: object) -> List[WorkloadReport]:
-    """Characterize every registered workload (the paper's roster)."""
+    """Characterize every registered workload (the paper's roster).
+
+    A raising workload no longer aborts the run: every workload is
+    attempted, and failures are collected and re-raised at the end as
+    one :class:`RosterError` summarizing who succeeded and who failed.
+    """
     from repro.workloads import available, create  # deferred (cycle)
 
     if names is None:
         names = available()
-    return [characterize(create(name, **workload_params), device)
-            for name in names]
+    reports: List[WorkloadReport] = []
+    failures: List[tuple] = []
+    for name in names:
+        try:
+            reports.append(characterize(create(name, **workload_params),
+                                        device))
+        except Exception as exc:  # noqa: BLE001 - collected, re-raised below
+            failures.append((name, exc))
+    if failures:
+        raise RosterError(failures, reports)
+    return reports

@@ -9,6 +9,7 @@ rather than producing quietly-wrong figures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -60,11 +61,20 @@ def validate_trace(trace: Trace,
             if parent not in seen_ids:
                 err(f"event {event.eid} has unknown parent {parent}")
 
+        # non-finite counters must be rejected explicitly: NaN slips
+        # through every `< 0` / range comparison below.
+        for counter in ("flops", "bytes_read", "bytes_written",
+                        "wall_time", "live_bytes", "output_sparsity"):
+            if not math.isfinite(float(getattr(event, counter))):
+                err(f"event {event.eid} ({event.name}) has non-finite "
+                    f"{counter}: {getattr(event, counter)}")
+
         if event.flops < 0:
             err(f"event {event.eid} ({event.name}) has negative flops")
         if event.bytes_read < 0 or event.bytes_written < 0:
             err(f"event {event.eid} ({event.name}) has negative bytes")
-        if not (0.0 <= event.output_sparsity <= 1.0):
+        if math.isfinite(event.output_sparsity) \
+                and not (0.0 <= event.output_sparsity <= 1.0):
             err(f"event {event.eid} sparsity out of range: "
                 f"{event.output_sparsity}")
         if event.wall_time < 0:

@@ -1,0 +1,135 @@
+"""Trace health checks: is this profile trustworthy enough to report?
+
+Layered on top of the structural validation in
+:mod:`repro.core.validate`: where ``validate_trace`` asks "is this a
+well-formed trace?", the health checks ask "did the workload actually
+run sanely?" — catching the quietly-wrong cases (NaN counters, phases
+that recorded nothing, zero total latency, impossible live-memory
+snapshots) that produce plausible-looking but meaningless figures.
+
+Every check is named so reports can say *which* invariant a degraded
+workload broke::
+
+    report = check_trace_health(trace,
+                                expected_phases=("neural", "symbolic"))
+    if not report.ok:
+        print(report.render())          # lists failing checks + details
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.profiler import Trace
+from repro.core.validate import validate_trace
+
+#: Per-event numeric fields that must be finite for any analysis to hold.
+COUNTER_FIELDS = ("flops", "bytes_read", "bytes_written", "wall_time",
+                  "live_bytes", "output_sparsity")
+
+#: Cap on per-check detail lines so a fully-poisoned trace stays readable.
+_MAX_DETAILS = 5
+
+
+@dataclass
+class HealthCheck:
+    """Outcome of one named check."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        line = f"[{status:>4s}] {self.name}"
+        return f"{line}: {self.detail}" if self.detail else line
+
+
+@dataclass
+class HealthReport:
+    """All checks for one trace, plus convenience accessors."""
+
+    workload: str
+    checks: List[HealthCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failing(self) -> List[str]:
+        """Names of the checks that failed."""
+        return [c.name for c in self.checks if not c.ok]
+
+    def render(self) -> str:
+        header = (f"health of {self.workload!r}: "
+                  f"{'healthy' if self.ok else 'UNHEALTHY'} "
+                  f"({len(self.failing())} of {len(self.checks)} "
+                  f"checks failing)")
+        return "\n".join([header] + ["  " + c.render() for c in self.checks])
+
+
+def _clip(problems: Sequence[str]) -> str:
+    shown = list(problems[:_MAX_DETAILS])
+    if len(problems) > _MAX_DETAILS:
+        shown.append(f"... and {len(problems) - _MAX_DETAILS} more")
+    return "; ".join(shown)
+
+
+def check_trace_health(trace: Trace,
+                       expected_phases: Optional[Sequence[str]] = None,
+                       ) -> HealthReport:
+    """Run every named health check on ``trace``."""
+    report = HealthReport(workload=trace.workload)
+    add = report.checks.append
+
+    # structure: the core validator's verdict, as one named check.
+    validation = validate_trace(trace, expected_phases=expected_phases)
+    add(HealthCheck("structure", validation.ok, _clip(validation.errors)))
+
+    # finite_counters: NaN/Inf anywhere makes every aggregate a lie.
+    bad: List[str] = []
+    for event in trace:
+        for fname in COUNTER_FIELDS:
+            value = float(getattr(event, fname))
+            if not math.isfinite(value):
+                bad.append(f"event {event.eid} ({event.name}) "
+                           f"{fname}={value}")
+    add(HealthCheck("finite_counters", not bad, _clip(bad)))
+
+    # nonempty_phases: every expected phase must have recorded real work.
+    problems: List[str] = []
+    if expected_phases:
+        for phase in expected_phases:
+            events = [e for e in trace if e.phase == phase]
+            if not events:
+                problems.append(f"phase {phase!r} has no events")
+            elif all(e.wall_time == 0.0 and e.flops == 0.0
+                     for e in events):
+                problems.append(f"phase {phase!r} recorded no work")
+    add(HealthCheck("nonempty_phases", not problems, _clip(problems)))
+
+    # nonzero_latency: an all-zero-cost trace renders meaningless shares.
+    total = trace.total_wall_time
+    ok = math.isfinite(total) and total > 0.0
+    add(HealthCheck("nonzero_latency", ok,
+                    "" if ok else f"total wall time is {total}"))
+
+    # live_bytes_balance: snapshots must be non-negative and must not
+    # exceed the runtime-tracked peak (an event above it means the
+    # snapshot was corrupted or the allocator blew up mid-op).
+    problems = []
+    for event in trace:
+        if event.live_bytes < 0:
+            problems.append(f"event {event.eid} live_bytes "
+                            f"{event.live_bytes} < 0")
+    runtime_peak = trace.metadata.get("peak_live_bytes")
+    if isinstance(runtime_peak, (int, float)) and trace.events:
+        observed = trace.peak_live_bytes
+        if observed > runtime_peak:
+            problems.append(f"event live-bytes peak {observed} exceeds "
+                            f"runtime-tracked peak {runtime_peak}")
+    add(HealthCheck("live_bytes_balance", not problems, _clip(problems)))
+
+    return report

@@ -19,6 +19,14 @@ Live-memory tracking: every tensor allocated under an active context
 adds its byte size to a live counter and registers a weakref finalizer
 that subtracts it on garbage collection.  Each event snapshots the
 counter, which powers the Fig. 3b memory analysis.
+
+Fault hooks: alongside the profiling-context stack this module keeps a
+thread-local *fault-hook* stack.  A hook (in practice a
+:class:`repro.resilience.faults.FaultPlan`) is consulted by the
+dispatcher once per recorded operation and may answer with an injection
+— poisoned counters, simulated latency, an allocation blowup, or a
+raised :class:`InjectedFaultError`.  The tensor layer only defines the
+protocol; all fault policy lives in :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
@@ -43,6 +51,54 @@ def active_context() -> Optional["ProfileContext"]:
     """The innermost active profiling context, or ``None``."""
     stack = _ctx_stack()
     return stack[-1] if stack else None
+
+
+class InjectedFaultError(RuntimeError):
+    """An operation failure deliberately raised by an installed fault plan.
+
+    ``transient`` mirrors the fault spec that produced it: transient
+    faults model recoverable conditions (the resilient runner retries
+    them), deterministic ones model reproducible bugs (it does not).
+    """
+
+    def __init__(self, message: str, *, op_name: str = "",
+                 op_index: int = -1, transient: bool = False):
+        super().__init__(message)
+        self.op_name = op_name
+        self.op_index = op_index
+        self.transient = transient
+
+
+def _fault_stack() -> List[object]:
+    if not hasattr(_state, "fault_stack"):
+        _state.fault_stack = []
+    return _state.fault_stack
+
+
+def active_fault_hook() -> Optional[object]:
+    """The innermost installed fault hook, or ``None``.
+
+    A hook exposes ``consider(name, phase, stage)`` returning either
+    ``None`` or an injection object understood by the dispatcher
+    (``raises``/``poison``/``extra_latency``/``blocking``/
+    ``extra_live_bytes`` attributes).
+    """
+    stack = _fault_stack()
+    return stack[-1] if stack else None
+
+
+def push_fault_hook(hook: object) -> None:
+    """Install ``hook`` as the active fault hook for this thread."""
+    _fault_stack().append(hook)
+
+
+def pop_fault_hook(hook: object) -> None:
+    """Remove ``hook``; it must be the innermost installed hook."""
+    stack = _fault_stack()
+    if stack and stack[-1] is hook:
+        stack.pop()
+    else:  # pragma: no cover - misuse guard
+        raise RuntimeError("fault hooks exited out of order")
 
 
 class ProfileContext:

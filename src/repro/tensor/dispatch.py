@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.core.profiler import TraceEvent
 from repro.core.taxonomy import OpCategory
-from repro.tensor.context import ProfileContext, active_context
+from repro.tensor.context import (InjectedFaultError, ProfileContext,
+                                  active_context, active_fault_hook)
 from repro.tensor.tensor import Tensor
 
 #: Arrays larger than this skip sparsity measurement (keeps dispatch cheap).
@@ -62,6 +63,65 @@ def _split_inputs(inputs: Sequence[InputLike]) -> Tuple[List[np.ndarray], int,
             bytes_read += 8
             shapes.append(())
     return arrays, bytes_read, tuple(shapes), tuple(parents)
+
+
+def _consider_fault(name: str) -> Optional[object]:
+    """Ask the active fault hook about this op; raise if it says so.
+
+    Returns the injection object (or ``None``) so the caller can apply
+    the non-raising effects: counter poisoning, simulated latency, and
+    allocation blowups.
+    """
+    hook = active_fault_hook()
+    if hook is None:
+        return None
+    ctx = active_context()
+    phase = ctx.current_phase if ctx is not None else ""
+    stage = ctx.current_stage if ctx is not None else ""
+    injection = hook.consider(name, phase, stage)
+    if injection is None:
+        return None
+    if getattr(injection, "raises", False):
+        raise InjectedFaultError(
+            f"injected fault in op {name!r} "
+            f"(index {getattr(injection, 'op_index', -1)})",
+            op_name=name,
+            op_index=getattr(injection, "op_index", -1),
+            transient=getattr(injection, "transient", False))
+    return injection
+
+
+def _poison_array(arr: np.ndarray, value: float) -> np.ndarray:
+    """Corrupt one element of a float array with ``value`` (NaN/Inf).
+
+    Integer and boolean outputs cannot hold non-finite values; they are
+    returned untouched (the recorded counters are still poisoned, which
+    is what the health checks observe).
+    """
+    if arr.size == 0 or not np.issubdtype(arr.dtype, np.floating):
+        return arr
+    poisoned = arr.copy()
+    poisoned.flat[0] = value
+    return poisoned
+
+
+def _apply_injection(injection: Optional[object],
+                     elapsed: float) -> Tuple[float, Optional[float], int]:
+    """Resolve an injection into (elapsed, poison value, extra live bytes).
+
+    A *blocking* latency fault really sleeps (so wall-clock timeouts can
+    be exercised); a plain one only inflates the recorded wall time.
+    """
+    if injection is None:
+        return elapsed, None, 0
+    extra = float(getattr(injection, "extra_latency", 0.0))
+    if extra > 0.0:
+        if getattr(injection, "blocking", False):
+            time.sleep(extra)
+        elapsed += extra
+    poison = getattr(injection, "poison", None)
+    extra_live = int(getattr(injection, "extra_live_bytes", 0))
+    return elapsed, poison, extra_live
 
 
 def _measure_sparsity(arr: np.ndarray) -> float:
@@ -98,19 +158,30 @@ def run_op(name: str,
     """
     arrays, bytes_read, shapes, parents = _split_inputs(inputs)
     ctx = active_context()
+    injection = _consider_fault(name)
     if ctx is None:
         out = compute(*arrays)
-        return Tensor(np.asarray(out))
+        out_arr = np.asarray(out)
+        _, poison, _ = _apply_injection(injection, 0.0)
+        if poison is not None:
+            out_arr = _poison_array(out_arr, poison)
+        return Tensor(out_arr)
 
     start = time.perf_counter()
     out = compute(*arrays)
     elapsed = time.perf_counter() - start
     out_arr = np.asarray(out)
+    elapsed, poison, extra_live = _apply_injection(injection, elapsed)
+    if poison is not None:
+        out_arr = _poison_array(out_arr, poison)
 
     if flops is None:
         flops = flop_factor * out_arr.size
     written = out_arr.nbytes if bytes_written is None else bytes_written
     sparsity = _measure_sparsity(out_arr) if measure_sparsity else 0.0
+    if poison is not None:
+        flops = poison
+        sparsity = poison
 
     eid = ctx.next_eid()
     result = Tensor(out_arr, producer=eid)
@@ -128,7 +199,7 @@ def run_op(name: str,
         output_sparsity=sparsity,
         wall_time=elapsed,
         parents=parents,
-        live_bytes=ctx.live_bytes,
+        live_bytes=ctx.live_bytes + extra_live,
     ))
     return result
 
@@ -148,6 +219,11 @@ def record_event(name: str,
     ctx = active_context()
     if ctx is None:
         return None
+    injection = _consider_fault(name)
+    wall_time, poison, extra_live = _apply_injection(injection, wall_time)
+    if poison is not None:
+        flops = poison
+        output_sparsity = poison
     eid = ctx.next_eid()
     ctx.record(TraceEvent(
         eid=eid, name=name, category=category,
@@ -156,7 +232,7 @@ def record_event(name: str,
         bytes_written=bytes_written, wall_time=wall_time,
         parents=parents, input_shapes=input_shapes,
         output_shape=output_shape, output_sparsity=output_sparsity,
-        live_bytes=ctx.live_bytes,
+        live_bytes=ctx.live_bytes + extra_live,
     ))
     return eid
 
@@ -179,16 +255,19 @@ def record_region(name: str,
     if ctx is None:
         yield
         return
+    injection = _consider_fault(name)  # raising faults abort the region
     start = time.perf_counter()
     try:
         yield
     finally:
         elapsed = time.perf_counter() - start
+        elapsed, poison, extra_live = _apply_injection(injection, elapsed)
+        region_flops = float(flops) if poison is None else poison
         eid = ctx.next_eid()
         ctx.record(TraceEvent(
             eid=eid, name=name, category=category,
             phase=ctx.current_phase, stage=ctx.current_stage,
-            flops=float(flops), bytes_read=bytes_read,
+            flops=region_flops, bytes_read=bytes_read,
             bytes_written=bytes_written, wall_time=elapsed,
-            parents=parents, live_bytes=ctx.live_bytes,
+            parents=parents, live_bytes=ctx.live_bytes + extra_live,
         ))
