@@ -10,6 +10,7 @@ Usage (``python -m repro ...``):
     python -m repro faults nvsa --fault nan --seed 0
     python -m repro chrome nvsa -o nvsa_trace.json
     python -m repro energy nvsa
+    python -m repro lint --strict --format json
 
 Everything routes through the same public API the benchmarks use.
 ``faults`` runs an injection experiment and exits nonzero (2 degraded,
@@ -110,6 +111,13 @@ def _build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--timeout", type=float, default=120.0)
     faults.add_argument("--max-retries", type=int, default=0,
                         help="retries (default 0: report first outcome)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static instrumentation-soundness checks over the suite's "
+             "own source (exit 2 on findings, 3 on internal error)")
+    from repro.lint.cli import add_lint_arguments
+    add_lint_arguments(lint)
     return parser
 
 
@@ -121,6 +129,10 @@ def _require_workload(name: str) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_command
+        return run_lint_command(args)
 
     if args.command == "analyze-trace":
         from repro.core.report import render_shares

@@ -55,6 +55,144 @@ CATEGORY_ORDER: Tuple[OpCategory, ...] = (
 )
 
 
+#: Canonical op-name -> category registry: the single source of truth
+#: for how every instrumented kernel maps onto the six-way taxonomy.
+#: Parameterized op names are registered by their canonical stem — the
+#: text before the ``[...]`` variant suffix (``fuzzy_and[lukasiewicz]``
+#: -> ``fuzzy_and``) — and dynamic families by a ``*`` suffix wildcard
+#: (``to_*`` covers ``to_gpu``/``to_tx2``/...).  ``run_op`` falls back
+#: to this registry when a call site does not pass a category, and the
+#: RL002 lint check cross-validates every explicit call site against it.
+OP_CATEGORIES: Dict[str, OpCategory] = {
+    # -- convolution ---------------------------------------------------------
+    "conv2d": OpCategory.CONVOLUTION,
+    # -- matmul family -------------------------------------------------------
+    "matmul": OpCategory.MATMUL,
+    "outer": OpCategory.MATMUL,
+    "einsum": OpCategory.MATMUL,
+    "linear": OpCategory.MATMUL,
+    "spmm": OpCategory.MATMUL,
+    "sddmm": OpCategory.MATMUL,
+    # -- vector / element-wise ----------------------------------------------
+    "add": OpCategory.ELEMENTWISE,
+    "sub": OpCategory.ELEMENTWISE,
+    "mul": OpCategory.ELEMENTWISE,
+    "div": OpCategory.ELEMENTWISE,
+    "pow": OpCategory.ELEMENTWISE,
+    "maximum": OpCategory.ELEMENTWISE,
+    "minimum": OpCategory.ELEMENTWISE,
+    "neg": OpCategory.ELEMENTWISE,
+    "exp": OpCategory.ELEMENTWISE,
+    "log": OpCategory.ELEMENTWISE,
+    "sqrt": OpCategory.ELEMENTWISE,
+    "tanh": OpCategory.ELEMENTWISE,
+    "abs": OpCategory.ELEMENTWISE,
+    "sign": OpCategory.ELEMENTWISE,
+    "clip": OpCategory.ELEMENTWISE,
+    "reciprocal": OpCategory.ELEMENTWISE,
+    "relu": OpCategory.ELEMENTWISE,
+    "sigmoid": OpCategory.ELEMENTWISE,
+    "softmax": OpCategory.ELEMENTWISE,
+    "log_softmax": OpCategory.ELEMENTWISE,
+    "greater": OpCategory.ELEMENTWISE,
+    "less": OpCategory.ELEMENTWISE,
+    "equal": OpCategory.ELEMENTWISE,
+    "logical_and": OpCategory.ELEMENTWISE,
+    "logical_or": OpCategory.ELEMENTWISE,
+    "logical_not": OpCategory.ELEMENTWISE,
+    "where": OpCategory.ELEMENTWISE,
+    "sum": OpCategory.ELEMENTWISE,
+    "mean": OpCategory.ELEMENTWISE,
+    "max": OpCategory.ELEMENTWISE,
+    "min": OpCategory.ELEMENTWISE,
+    "prod": OpCategory.ELEMENTWISE,
+    "norm": OpCategory.ELEMENTWISE,
+    "cumsum": OpCategory.ELEMENTWISE,
+    # spectral kernels: the paper files the FFT-backed binding algebra
+    # under vector/element-wise tensor ops, so the standalone FFTs that
+    # compose it carry the same category
+    "rfft": OpCategory.ELEMENTWISE,
+    "irfft": OpCategory.ELEMENTWISE,
+    "circular_conv": OpCategory.ELEMENTWISE,
+    "circular_corr": OpCategory.ELEMENTWISE,
+    "complex_conj": OpCategory.ELEMENTWISE,
+    "phasor_project": OpCategory.ELEMENTWISE,
+    "phasor_similarity": OpCategory.ELEMENTWISE,
+    "batchnorm2d": OpCategory.ELEMENTWISE,
+    "maxpool2d": OpCategory.ELEMENTWISE,
+    "avgpool2d": OpCategory.ELEMENTWISE,
+    "global_avgpool": OpCategory.ELEMENTWISE,
+    "csr_row_softmax": OpCategory.ELEMENTWISE,
+    # -- data transformation -------------------------------------------------
+    "argmax": OpCategory.TRANSFORM,
+    "reshape": OpCategory.TRANSFORM,
+    "transpose": OpCategory.TRANSFORM,
+    "concat": OpCategory.TRANSFORM,
+    "stack": OpCategory.TRANSFORM,
+    "split": OpCategory.TRANSFORM,
+    "pad": OpCategory.TRANSFORM,
+    "take": OpCategory.TRANSFORM,
+    "index": OpCategory.TRANSFORM,
+    "masked_select": OpCategory.TRANSFORM,
+    "broadcast_to": OpCategory.TRANSFORM,
+    "roll": OpCategory.TRANSFORM,
+    "flip": OpCategory.TRANSFORM,
+    "sort": OpCategory.TRANSFORM,
+    "argsort": OpCategory.TRANSFORM,
+    "coalesce": OpCategory.TRANSFORM,
+    "one_hot": OpCategory.TRANSFORM,
+    "scatter_max": OpCategory.TRANSFORM,
+    "scatter_min": OpCategory.TRANSFORM,
+    "csr_to_dense": OpCategory.TRANSFORM,
+    # -- data movement -------------------------------------------------------
+    "copy": OpCategory.MOVEMENT,
+    "astype": OpCategory.MOVEMENT,
+    "to_host": OpCategory.MOVEMENT,
+    "to_*": OpCategory.MOVEMENT,
+    "assign": OpCategory.MOVEMENT,
+    # -- others (fuzzy logic / symbolic) ------------------------------------
+    "fuzzy_and": OpCategory.OTHER,
+    "fuzzy_or": OpCategory.OTHER,
+    "fuzzy_not": OpCategory.OTHER,
+    "fuzzy_implies": OpCategory.OTHER,
+    "csr_mask": OpCategory.OTHER,
+}
+
+
+def canonical_op_name(name: str) -> str:
+    """Strip the ``[...]`` variant suffix from a recorded op name.
+
+    ``fuzzy_and[lukasiewicz]`` -> ``fuzzy_and``; plain names pass
+    through unchanged.
+    """
+    return name.split("[", 1)[0]
+
+
+def category_for(name: str) -> OpCategory:
+    """Resolve a (possibly parameterized) op name to its category.
+
+    Lookup order: exact canonical name, then ``*`` suffix wildcards
+    (longest prefix wins).  Raises ``KeyError`` for unregistered names
+    so that uncategorized kernels fail loudly rather than skewing the
+    Fig. 3a category split.
+    """
+    stem = canonical_op_name(name)
+    try:
+        return OP_CATEGORIES[stem]
+    except KeyError:
+        pass
+    best: Tuple[int, OpCategory] = (-1, OpCategory.OTHER)
+    for key, category in OP_CATEGORIES.items():
+        if key.endswith("*") and stem.startswith(key[:-1]):
+            if len(key) > best[0]:
+                best = (len(key), category)
+    if best[0] >= 0:
+        return best[1]
+    raise KeyError(
+        f"op name {name!r} has no entry in repro.core.taxonomy."
+        f"OP_CATEGORIES; register it so traces stay classifiable")
+
+
 class NSParadigm(enum.Enum):
     """Kautz's five neuro-symbolic integration paradigms (Table I)."""
 

@@ -1,0 +1,41 @@
+"""repro.lint — AST-based instrumentation-soundness checker.
+
+Static analysis over the suite's own source tree: the figures this
+repository reproduces are only as good as the counters the
+instrumented runtime collects, so the linter enforces the invariants
+that keep those counters honest (no raw-numpy bypasses in instrumented
+zones, run_op names consistent with the op taxonomy, workloads
+entering their declared phases, deterministic RNG/clock usage, and
+context-stack discipline).
+
+Programmatic entry point::
+
+    from repro.lint import LintConfig, run_lint
+    result = run_lint(LintConfig.for_package())
+    assert not result.errors
+
+CLI::
+
+    python -m repro lint [--format json] [--baseline PATH] [--strict]
+"""
+
+from repro.lint.baseline import (DEFAULT_BASELINE_NAME, BaselineError,
+                                 load_baseline, split_baselined,
+                                 write_baseline)
+from repro.lint.engine import (DEFAULT_ZONES, LintConfig, LintContext,
+                               LintResult, ModuleSource, default_scan_root,
+                               discover_files, run_lint)
+from repro.lint.findings import (SEVERITY_ERROR, SEVERITY_WARNING, Finding)
+from repro.lint.pragmas import PragmaIndex
+from repro.lint.registry import LintCheck, all_checks, register_check
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME", "DEFAULT_ZONES",
+    "BaselineError", "Finding", "LintCheck", "LintConfig", "LintContext",
+    "LintResult", "ModuleSource", "PragmaIndex",
+    "SEVERITY_ERROR", "SEVERITY_WARNING",
+    "all_checks", "default_scan_root", "discover_files", "load_baseline",
+    "register_check", "render_json", "render_text", "run_lint",
+    "split_baselined", "write_baseline",
+]

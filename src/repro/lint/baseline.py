@@ -1,0 +1,78 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline is a committed JSON document listing known findings by
+fingerprint (path, check id, message) with the line recorded for
+humans.  Matching is by fingerprint with multiplicity — two identical
+violations in one file need two baseline entries — and tolerates line
+drift from unrelated edits.  ``repro lint --update-baseline`` rewrites
+the file from the current findings; entries that no longer match
+anything are dropped on rewrite, so the baseline only ever shrinks
+unless violations are deliberately re-grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(RuntimeError):
+    """The baseline file is unreadable or malformed."""
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read ``path`` into a fingerprint multiset."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list")
+    fingerprints: Counter = Counter()
+    for entry in payload["findings"]:
+        try:
+            fingerprints[(entry["path"], entry["check_id"],
+                          entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"baseline {path}: malformed entry {entry!r}") from exc
+    return fingerprints
+
+
+def split_baselined(findings: List[Finding],
+                    baseline: Counter) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, grandfathered)."""
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Serialize ``findings`` as the new baseline."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": ("Grandfathered repro-lint findings. Shrink me: fix "
+                    "the violation or add an inline pragma with a "
+                    "reason, then run `repro lint --update-baseline`."),
+        "findings": [
+            {"path": f.path, "check_id": f.check_id, "line": f.line,
+             "message": f.message}
+            for f in sorted(findings, key=lambda f: f.sort_key)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,60 @@
+"""Inline suppression pragmas.
+
+Two forms, both trailing comments:
+
+* line-level — suppresses matching findings reported on that physical
+  line::
+
+      spectrum = np.exp(arg)  # repro-lint: disable=RL001 -- calibration only
+
+* file-level — anywhere in the file, on a line of its own, suppresses
+  the named checks for the whole module::
+
+      # repro-lint: disable-file=RL004 -- dataset shuffling is not measured
+
+Several ids may be comma-separated (``disable=RL001,RL004``) and
+``all`` suppresses every check.  The text after ``--`` is the required
+human reason; it is not machine-checked but reviewers should treat a
+pragma without one as a defect.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_*,\s]+?)\s*(?:--\s*(?P<reason>.*))?$")
+
+
+@dataclass
+class PragmaIndex:
+    """Per-module suppression table parsed from raw source."""
+
+    line_disables: Dict[int, Set[str]] = field(default_factory=dict)
+    file_disables: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip().upper()
+                   for part in match.group("ids").split(",")
+                   if part.strip()}
+            if match.group("scope") == "disable-file":
+                index.file_disables |= ids
+            else:
+                index.line_disables.setdefault(lineno, set()).update(ids)
+        return index
+
+    def suppresses(self, check_id: str, line: int) -> bool:
+        """True if ``check_id`` is disabled on ``line`` or file-wide."""
+        wanted = {check_id.upper(), "ALL"}
+        if self.file_disables & wanted:
+            return True
+        return bool(self.line_disables.get(line, set()) & wanted)

@@ -1,0 +1,49 @@
+"""Pluggable check registry.
+
+A check subclasses :class:`LintCheck` and registers itself with the
+:func:`register_check` decorator.  The engine calls ``visit_module``
+once per parsed module and ``finalize`` once after the whole tree has
+been visited — cross-module invariants (e.g. RL002's registry
+coverage) accumulate state on the context during visits and report in
+``finalize``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.lint.findings import SEVERITY_ERROR
+
+
+class LintCheck:
+    """Base class for one instrumentation-soundness check."""
+
+    check_id: str = ""
+    name: str = ""
+    description: str = ""
+    severity: str = SEVERITY_ERROR
+
+    def visit_module(self, module: "ModuleSource",  # noqa: F821
+                     ctx: "LintContext") -> None:  # noqa: F821
+        """Inspect one parsed module (override)."""
+
+    def finalize(self, ctx: "LintContext") -> None:  # noqa: F821
+        """Report cross-module findings after all visits (override)."""
+
+
+_CHECKS: Dict[str, Type[LintCheck]] = {}
+
+
+def register_check(cls: Type[LintCheck]) -> Type[LintCheck]:
+    """Class decorator adding ``cls`` to the global check registry."""
+    if not cls.check_id:
+        raise ValueError(f"{cls.__name__} must set check_id")
+    if cls.check_id in _CHECKS:
+        raise ValueError(f"duplicate check id {cls.check_id!r}")
+    _CHECKS[cls.check_id] = cls
+    return cls
+
+
+def all_checks() -> List[Type[LintCheck]]:
+    """Registered check classes, ordered by check id."""
+    return [_CHECKS[key] for key in sorted(_CHECKS)]

@@ -28,7 +28,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.profiler import TraceEvent
-from repro.core.taxonomy import OpCategory
+from repro.core.taxonomy import OpCategory, category_for
 from repro.tensor.context import (InjectedFaultError, ProfileContext,
                                   active_context, active_fault_hook)
 from repro.tensor.tensor import Tensor
@@ -133,9 +133,9 @@ def _measure_sparsity(arr: np.ndarray) -> float:
 
 
 def run_op(name: str,
-           category: OpCategory,
-           compute: Callable[..., np.ndarray],
-           inputs: Sequence[InputLike],
+           category: Optional[OpCategory] = None,
+           compute: Callable[..., np.ndarray] = None,  # type: ignore[assignment]
+           inputs: Sequence[InputLike] = (),
            *,
            flops: Optional[float] = None,
            flop_factor: float = 1.0,
@@ -146,6 +146,12 @@ def run_op(name: str,
 
     Parameters
     ----------
+    category:
+        Operator-taxonomy category.  When ``None``, it is resolved from
+        the :data:`repro.core.taxonomy.OP_CATEGORIES` registry (the
+        authoritative op-name -> category mapping); explicit values at
+        call sites are cross-checked against that registry by
+        ``repro lint`` (RL002).
     flops:
         Explicit FLOP count.  When ``None``, the count defaults to
         ``flop_factor * output.size`` (the convention for element-wise
@@ -156,6 +162,8 @@ def run_op(name: str,
     bytes_written:
         Override for written bytes; defaults to the output's nbytes.
     """
+    if category is None:
+        category = category_for(name)
     arrays, bytes_read, shapes, parents = _split_inputs(inputs)
     ctx = active_context()
     injection = _consider_fault(name)

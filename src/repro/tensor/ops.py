@@ -36,7 +36,7 @@ __all__ = [
     "greater", "less", "equal", "logical_and", "logical_or", "logical_not",
     "where",
     "sum", "mean", "max", "min", "prod", "norm", "argmax", "cumsum",
-    "circular_conv", "circular_corr",
+    "rfft", "irfft", "circular_conv", "circular_corr",
     "reshape", "transpose", "concat", "stack", "split", "pad", "take",
     "index", "masked_select", "broadcast_to", "roll", "flip", "sort",
     "argsort", "coalesce", "one_hot",
@@ -386,13 +386,41 @@ def argmax(x: object, axis: Optional[int] = None) -> Tensor:
 
 
 # ---------------------------------------------------------------------------
-# circular convolution / correlation — the HRR binding primitives
+# spectral transforms, circular convolution / correlation (HRR binding)
 # ---------------------------------------------------------------------------
 
+def _single_fft_flops(d: int, batch: float) -> float:
+    # 5 * d * log2(d) per real transform (standard estimate)
+    return batch * 5.0 * d * np.log2(float(d) if d > 1 else 2.0)
+
+
 def _fft_flops(d: int, batch: float, n_transforms: int = 3) -> float:
-    # 5 * d * log2(d) per real FFT (standard estimate), three transforms
-    # (two forward, one inverse) plus the pointwise complex product (6d).
-    return batch * (n_transforms * 5.0 * d * np.log2(float(d) if d > 1 else 2.0) + 6.0 * d)
+    # three transforms (two forward, one inverse) plus the pointwise
+    # complex product (6d)
+    return n_transforms * _single_fft_flops(d, batch) + batch * 6.0 * d
+
+
+def rfft(x: object, axis: int = -1) -> Tensor:
+    """Real-to-complex FFT along ``axis`` (5*n*log2(n) FLOPs/transform).
+
+    Category comes from the taxonomy registry (element-wise, matching
+    how the paper files the FFT-backed VSA binding algebra).
+    """
+    t = as_tensor(x)
+    n = t.shape[axis] if t.ndim else 1
+    batch = t.size / n if n else 0.0
+    return run_op("rfft", compute=lambda a: np.fft.rfft(a, axis=axis),
+                  inputs=[t], flops=_single_fft_flops(n, batch))
+
+
+def irfft(x: object, n: Optional[int] = None, axis: int = -1) -> Tensor:
+    """Complex-to-real inverse FFT along ``axis`` producing ``n`` samples."""
+    t = as_tensor(x)
+    half = t.shape[axis] if t.ndim else 1
+    length = n if n is not None else 2 * (half - 1)
+    batch = t.size / half if half else 0.0
+    return run_op("irfft", compute=lambda a: np.fft.irfft(a, n=n, axis=axis),
+                  inputs=[t], flops=_single_fft_flops(length, batch))
 
 
 def circular_conv(a: object, b: object) -> Tensor:

@@ -152,7 +152,7 @@ class FHRRSpace(VSASpace):
 
     def random(self, rng: np.random.Generator, n: int = 1) -> Tensor:
         phases = rng.uniform(-np.pi, np.pi, size=(n, self.dim))
-        return T.tensor(np.exp(1j * phases).astype(np.complex64))
+        return T.astype(T.exp(T.mul(1j, phases)), np.complex64)
 
     def bind(self, a: Tensor, b: Tensor) -> Tensor:
         return T.mul(a, b)
@@ -162,31 +162,27 @@ class FHRRSpace(VSASpace):
 
         ``unbind(key, bound)`` recovers the filler bound with ``key``.
         """
-        from repro.core.taxonomy import OpCategory
         from repro.tensor.dispatch import run_op
-        key_conj = run_op("complex_conj", OpCategory.ELEMENTWISE,
-                          np.conj, [a])
+        key_conj = run_op("complex_conj", compute=np.conj, inputs=[a])
         return T.mul(key_conj, b)
 
     def bundle(self, stacked: Tensor) -> Tensor:
         summed = T.sum(stacked, axis=-2)
-        from repro.core.taxonomy import OpCategory
         from repro.tensor.dispatch import run_op
         return run_op(
-            "phasor_project", OpCategory.ELEMENTWISE,
-            lambda a: (a / np.maximum(np.abs(a), 1e-12)).astype(
+            "phasor_project",
+            compute=lambda a: (a / np.maximum(np.abs(a), 1e-12)).astype(
                 np.complex64),
-            [summed], flop_factor=6.0)
+            inputs=[summed], flop_factor=6.0)
 
     def similarity(self, a: Tensor, b: Tensor) -> Tensor:
-        from repro.core.taxonomy import OpCategory
         from repro.tensor.dispatch import run_op
         d = float(self.dim)
         return run_op(
-            "phasor_similarity", OpCategory.ELEMENTWISE,
-            lambda x, y: (np.real(x * np.conj(y)).sum(axis=-1)
-                          / d).astype(np.float32),
-            [a, b], flop_factor=6.0)
+            "phasor_similarity",
+            compute=lambda x, y: (np.real(x * np.conj(y)).sum(axis=-1)
+                                  / d).astype(np.float32),
+            inputs=[a, b], flop_factor=6.0)
 
 
 def make_space(kind: str, dim: int) -> VSASpace:

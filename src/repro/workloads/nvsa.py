@@ -78,15 +78,15 @@ def fpe_codebook(space: HolographicSpace, num_values: int,
     phases[0] = 0.0
     if d % 2 == 0:
         phases[-1] = 0.0
-    matrix = np.empty((num_values, d), dtype=np.float32)
-    for v in range(num_values):
-        spectrum = np.exp(1j * v * phases)
-        matrix[v] = np.fft.irfft(spectrum, n=d) * d / np.sqrt(d)
+    # all num_values spectra at once: row v is exp(1j * v * phases)
+    spectra = T.exp(T.mul(1j, T.outer(np.arange(num_values), phases)))
+    rows = T.irfft(spectra, n=d)
+    matrix = T.astype(T.div(T.mul(rows, d), np.sqrt(d)), np.float32)
     # normalize rows to unit L2 norm so similarities are cosines
-    matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+    matrix = T.div(matrix, T.norm(matrix, axis=1, keepdims=True))
     codebook = Codebook(space, [f"v{v}" for v in range(num_values)],
                         rng=rng)
-    codebook.matrix.data[:] = matrix * np.sqrt(d)  # dot/d == cosine
+    codebook.matrix.data[:] = T.mul(matrix, np.sqrt(d)).numpy()  # dot/d == cosine
     return codebook
 
 
@@ -158,22 +158,21 @@ class NVSAWorkload(Workload):
         codebook = Codebook(self.space, combos,
                             rng=np.random.default_rng(self.seed + 99))
         mats = [self.codebooks[a].matrix.numpy() for a in attrs]
-        row = 0
-        for s in range(domains[0]):
-            fs = np.fft.rfft(mats[0][s])
-            for z in range(domains[1]):
-                fz = fs * np.fft.rfft(mats[1][z])
-                for c in range(domains[2]):
-                    spectrum = fz * np.fft.rfft(mats[2][c])
-                    codebook.matrix.data[row] = np.fft.irfft(
-                        spectrum, n=self.dim).astype(np.float32)
-                    row += 1
+        # bind all (shape, size, color) triples in one broadcast sweep:
+        # multiply the three attribute spectra pairwise, C-contiguous
+        # over (s, z, c), then transform back in a single batched irfft
+        half = self.dim // 2 + 1
+        fs = T.reshape(T.rfft(mats[0]), (domains[0], 1, 1, half))
+        fz = T.reshape(T.rfft(mats[1]), (1, domains[1], 1, half))
+        fc = T.reshape(T.rfft(mats[2]), (1, 1, domains[2], half))
+        spectra = T.reshape(T.mul(T.mul(fs, fz), fc),
+                            (len(combos), half))
+        bound = T.astype(T.irfft(spectra, n=self.dim), np.float32)
         # renormalize so dot/d behaves like a cosine against bound
         # query vectors
-        norms = np.linalg.norm(codebook.matrix.data, axis=1,
-                               keepdims=True)
-        codebook.matrix.data[:] = (codebook.matrix.data / norms
-                                   * np.sqrt(self.dim))
+        norms = T.norm(bound, axis=1, keepdims=True)
+        codebook.matrix.data[:] = T.mul(T.div(bound, norms),
+                                        np.sqrt(self.dim)).numpy()
         return codebook
 
     def parameter_bytes(self) -> int:

@@ -1,0 +1,414 @@
+"""Tests for repro.lint: one seeded violation per check (asserting the
+check id AND the line it fires on), pragma suppression, baseline
+filtering, CLI exit codes, and the meta-test that the shipped tree is
+strict-clean."""
+
+import json
+import textwrap
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.lint import (Finding, LintConfig, default_scan_root,
+                        load_baseline, run_lint, split_baselined,
+                        write_baseline)
+
+
+def lint_snippet(tmp_path, source, relpath="workloads/snippet.py",
+                 select=None):
+    """Write one module into a scratch tree and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source))
+    return run_lint(LintConfig(root=tmp_path, select=select))
+
+
+def by_check(result, check_id):
+    return [f for f in result.findings if f.check_id == check_id]
+
+
+class TestRL001RawNumpyBypass:
+    def test_flags_fft_and_transcendental_in_zone(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def encode(x):
+                spectrum = np.fft.rfft(x)
+                return np.exp(spectrum)
+            """)
+        found = by_check(result, "RL001")
+        assert [f.line for f in found] == [4, 5]
+        assert "np.fft.rfft" in found[0].message
+        assert "np.exp" in found[1].message
+
+    def test_resolves_import_aliases(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from numpy.fft import irfft
+            import numpy.linalg as la
+
+            def solve(a, b):
+                return la.solve(a, irfft(b))
+            """)
+        assert {f.line for f in by_check(result, "RL001")} == {5}
+        assert len(by_check(result, "RL001")) == 2
+
+    def test_ignores_outside_zones(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def helper(x):
+                return np.exp(x)
+            """, relpath="benchmarks/helper.py")
+        assert not by_check(result, "RL001")
+
+    def test_cheap_helpers_not_flagged(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def pick(scores):
+                return int(np.argmax(np.sqrt(scores)))
+            """)
+        assert not by_check(result, "RL001")
+
+
+class TestRL002TaxonomyCoverage:
+    def test_unregistered_op_name(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor.dispatch import run_op
+
+            def mystery(t):
+                return run_op("definitely_not_registered", None,
+                              lambda a: a, [t])
+            """, relpath="tensor/extra.py")
+        found = by_check(result, "RL002")
+        assert len(found) == 1
+        assert found[0].line == 4
+        assert "definitely_not_registered" in found[0].message
+
+    def test_category_drift_against_registry(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.core.taxonomy import OpCategory
+            from repro.tensor.dispatch import run_op
+
+            def bad(t):
+                return run_op("matmul", OpCategory.ELEMENTWISE,
+                              lambda a: a, [t])
+            """, relpath="tensor/extra.py")
+        found = by_check(result, "RL002")
+        assert len(found) == 1
+        assert found[0].line == 5
+        assert "OpCategory.ELEMENTWISE" in found[0].message
+        assert "OpCategory.MATMUL" in found[0].message
+
+    def test_forwarding_helper_resolved_one_hop(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.core.taxonomy import OpCategory
+            from repro.tensor.dispatch import run_op
+
+            _EW = OpCategory.ELEMENTWISE
+
+            def _unary(name, fn, x):
+                return run_op(name, _EW, fn, [x])
+
+            def exp(x):
+                return _unary("exp", None, x)
+
+            def bogus(x):
+                return _unary("not_an_op", None, x)
+            """, relpath="tensor/extra.py")
+        found = by_check(result, "RL002")
+        assert [f.line for f in found] == [13]
+        assert "not_an_op" in found[0].message
+
+    def test_wildcard_and_suffix_names_match(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor.dispatch import run_op
+
+            def move(t, device):
+                return run_op(f"to_{device}", None, lambda a: a, [t])
+
+            def blend(t, kind):
+                return run_op(f"fuzzy_and[{kind}]", None, lambda a: a, [t])
+            """, relpath="tensor/extra.py")
+        assert not by_check(result, "RL002")
+
+
+class TestRL003PhaseCoverage:
+    WORKLOAD = """\
+        from repro.tensor import phase, stage
+        from repro.workloads.base import register
+
+
+        @register("snippet")
+        class SnippetWorkload:
+            def run(self):
+                with phase("symbolic"):
+                    pass
+        """
+
+    def test_missing_neural_phase(self, tmp_path):
+        result = lint_snippet(tmp_path, self.WORKLOAD)
+        found = by_check(result, "RL003")
+        assert len(found) == 1
+        assert found[0].line == 7
+        assert "'neural'" in found[0].message
+
+    def test_one_hop_through_self_helper(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor import phase
+            from repro.workloads.base import register
+
+
+            @register("snippet")
+            class SnippetWorkload:
+                def _evaluate(self):
+                    with phase("neural"):
+                        pass
+
+                def run(self):
+                    values = self._evaluate()
+                    with phase("symbolic"):
+                        return values
+            """)
+        assert not by_check(result, "RL003")
+
+    def test_unregistered_class_ignored(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            class Helper:
+                def run(self):
+                    return None
+            """)
+        assert not by_check(result, "RL003")
+
+
+class TestRL004Determinism:
+    def test_legacy_rng_and_wall_clock(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import time
+            import numpy as np
+
+            def sample(n):
+                np.random.seed(0)
+                start = time.time()
+                return np.random.randn(n), start
+            """, relpath="core/sampling.py")
+        found = by_check(result, "RL004")
+        assert [f.line for f in found] == [5, 6, 7]
+        assert all(f.severity == "warning" for f in found)
+        assert "default_rng" in found[0].message
+        assert "perf_counter" in found[1].message
+
+    def test_generator_and_perf_counter_clean(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import time
+            import numpy as np
+
+            def sample(n, seed):
+                rng = np.random.default_rng(seed)
+                start = time.perf_counter()
+                return rng.standard_normal(n), start
+            """, relpath="core/sampling.py")
+        assert not by_check(result, "RL004")
+
+
+class TestRL005ContextSafety:
+    def test_private_stack_access(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor.context import _ctx_stack
+
+            def sneak():
+                _ctx_stack().append(None)
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [1, 4]
+
+    def test_unpaired_fault_hook(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor.context import push_fault_hook
+
+            def arm(hook):
+                push_fault_hook(hook)
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [4]
+        assert "push_fault_hook" in found[0].message
+
+    def test_hooks_inside_enter_exit_allowed(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from contextlib import contextmanager
+
+            from repro.tensor.context import (pop_fault_hook,
+                                              push_fault_hook)
+
+            class Plan:
+                def __enter__(self):
+                    push_fault_hook(self._hook)
+                    return self
+
+                def __exit__(self, *exc):
+                    pop_fault_hook()
+
+            @contextmanager
+            def armed(hook):
+                push_fault_hook(hook)
+                try:
+                    yield
+                finally:
+                    pop_fault_hook()
+            """, relpath="core/faulty.py")
+        assert not by_check(result, "RL005")
+
+    def test_direct_phase_assignment(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            def hijack(state):
+                state.current_phase = "neural"
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [2]
+
+
+class TestSuppression:
+    SOURCE = """\
+        import numpy as np
+
+        def encode(x):
+            y = np.exp(x)  # repro-lint: disable=RL001 -- calibration only
+            return np.tanh(y)
+        """
+
+    def test_line_pragma_suppresses_only_its_line(self, tmp_path):
+        result = lint_snippet(tmp_path, self.SOURCE)
+        assert [f.line for f in by_check(result, "RL001")] == [5]
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].line == 4
+
+    def test_file_pragma_suppresses_module(self, tmp_path):
+        source = "# repro-lint: disable-file=RL001 -- ported as-is\n" + \
+            textwrap.dedent(self.SOURCE)
+        result = lint_snippet(tmp_path, source)
+        assert not by_check(result, "RL001")
+        assert len(result.suppressed) == 2
+
+    def test_select_limits_checks(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def f(x):
+                np.random.seed(0)
+                return np.exp(x)
+            """, select={"RL004"})
+        assert result.checks_run == ("RL004",)
+        assert not by_check(result, "RL001")
+        assert len(by_check(result, "RL004")) == 1
+
+
+class TestBaseline:
+    def _findings(self):
+        return [
+            Finding(path="workloads/a.py", line=4, col=0,
+                    check_id="RL001", severity="error", message="m1"),
+            Finding(path="workloads/a.py", line=9, col=0,
+                    check_id="RL001", severity="error", message="m1"),
+            Finding(path="workloads/b.py", line=2, col=0,
+                    check_id="RL004", severity="warning", message="m2"),
+        ]
+
+    def test_round_trip_and_multiplicity(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings[:2])
+        baseline = load_baseline(path)
+        assert baseline == Counter(
+            {("workloads/a.py", "RL001", "m1"): 2})
+        new, old = split_baselined(findings, baseline)
+        assert [f.path for f in new] == ["workloads/b.py"]
+        assert len(old) == 2
+
+    def test_multiplicity_is_consumed(self, tmp_path):
+        findings = self._findings()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings[:1])  # one entry, two occurrences
+        new, old = split_baselined(findings[:2], load_baseline(path))
+        assert len(old) == 1 and len(new) == 1
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        from repro.lint import BaselineError
+        path = tmp_path / "baseline.json"
+        path.write_text("[]")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestCli:
+    BAD = """\
+        import numpy as np
+
+        def encode(x):
+            return np.exp(x)
+        """
+
+    def _write(self, tmp_path):
+        target = tmp_path / "workloads" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(textwrap.dedent(self.BAD))
+
+    def test_exit_codes(self, tmp_path, capsys):
+        self._write(tmp_path)
+        assert cli_main(["lint", str(tmp_path)]) == 2
+        assert cli_main(["lint", str(tmp_path / "nowhere")]) == 3
+        capsys.readouterr()
+
+    def test_strict_escalates_warnings(self, tmp_path, capsys):
+        target = tmp_path / "core" / "warn.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import numpy as np\nnp.random.seed(0)\n")
+        assert cli_main(["lint", str(tmp_path)]) == 0
+        assert cli_main(["lint", "--strict", str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        self._write(tmp_path)
+        assert cli_main(["lint", "--format", "json", str(tmp_path)]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["summary"]["errors"] == 1
+        finding = payload["findings"][0]
+        assert finding["check_id"] == "RL001"
+        assert finding["path"] == "workloads/bad.py"
+        assert finding["line"] == 4
+
+    def test_baseline_grandfathers_findings(self, tmp_path, capsys):
+        self._write(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(["lint", "--update-baseline",
+                         "--baseline", str(baseline), str(tmp_path)]) == 0
+        assert cli_main(["lint", "--baseline", str(baseline),
+                         str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_bad_baseline_is_internal_error(self, tmp_path, capsys):
+        self._write(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("not json")
+        assert cli_main(["lint", "--baseline", str(baseline),
+                         str(tmp_path)]) == 3
+        capsys.readouterr()
+
+
+class TestShippedTreeIsClean:
+    def test_strict_lint_clean_on_package(self):
+        """python -m repro lint --strict must pass on the shipped tree
+        with every check active and no baseline entries."""
+        result = run_lint(LintConfig(root=default_scan_root()))
+        assert result.checks_run == ("RL001", "RL002", "RL003",
+                                     "RL004", "RL005")
+        assert result.findings == []
+
+    def test_shipped_baseline_is_empty(self):
+        repo_root = Path(__file__).resolve().parent.parent
+        baseline = repo_root / "lint-baseline.json"
+        assert baseline.exists()
+        assert load_baseline(baseline) == Counter()

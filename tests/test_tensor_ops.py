@@ -198,6 +198,42 @@ class TestCircularOps:
                                    atol=1e-5)
 
 
+class TestRealFFT:
+    def test_rfft_irfft_round_trip(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=32).astype(np.float64)
+        spectrum = T.rfft(T.tensor(x))
+        np.testing.assert_allclose(spectrum.numpy(), np.fft.rfft(x))
+        back = T.irfft(spectrum, n=32)
+        np.testing.assert_allclose(back.numpy(), x, atol=1e-12)
+
+    def test_batched_rfft_last_axis(self):
+        rng = np.random.default_rng(12)
+        x = rng.normal(size=(4, 16))
+        out = T.rfft(T.tensor(x))
+        assert out.shape == (4, 9)
+        np.testing.assert_allclose(out.numpy(), np.fft.rfft(x, axis=-1))
+
+    def test_irfft_default_length(self):
+        spectrum = np.fft.rfft(np.arange(10.0))
+        out = T.irfft(T.tensor(spectrum))
+        assert out.shape == (10,)
+
+    def test_fft_accounting(self):
+        with T.profile("t") as prof:
+            out = T.rfft(T.tensor(np.ones((2, 64))))
+            T.irfft(out, n=64)
+        rfft_ev, irfft_ev = prof.trace.events[-2:]
+        assert rfft_ev.name == "rfft"
+        assert irfft_ev.name == "irfft"
+        # 5 * d * log2(d) per transform, batched over the leading axis
+        expected = 2 * 5.0 * 64 * np.log2(64)
+        assert rfft_ev.flops == pytest.approx(expected)
+        assert irfft_ev.flops == pytest.approx(expected)
+        assert rfft_ev.category is OpCategory.ELEMENTWISE
+        assert irfft_ev.category is OpCategory.ELEMENTWISE
+
+
 class TestTransforms:
     def test_reshape_transpose(self):
         x = T.tensor(np.arange(6, dtype=np.float32))
