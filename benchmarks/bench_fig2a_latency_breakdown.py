@@ -39,7 +39,12 @@ def test_fig2a_latency_breakdown(benchmark):
     emit("fig2a_latency_breakdown", render_table(
         ["workload", "total (RTX model)", "neural %", "symbolic %",
          "paper symbolic %", "events"],
-        rows, title="Fig. 2a — neural/symbolic latency split"))
+        rows, title="Fig. 2a — neural/symbolic latency split"),
+        rows=rows,
+        columns=["workload", "total", "neural_pct", "symbolic_pct",
+                 "paper_symbolic_pct", "events"],
+        meta={"device": "RTX_2080TI", "seed": 0,
+              "paper_symbolic_pct": PAPER_SYMBOLIC_PCT})
     # shape check: symbolic share within +-15 points of the paper
     for row in rows:
         ours = float(row[3].rstrip("%"))

@@ -36,7 +36,10 @@ def test_fig3a_operator_breakdown(benchmark):
                     + [f"{shares[c] * 100:.1f}%" for c in CATEGORY_ORDER])
     emit("fig3a_operator_breakdown", render_table(
         ["workload", "phase"] + [c.display_name for c in CATEGORY_ORDER],
-        rows, title="Fig. 3a — operator-category runtime shares"))
+        rows, title="Fig. 3a — operator-category runtime shares"),
+        rows=rows,
+        columns=["workload", "phase"] + [c.value for c in CATEGORY_ORDER],
+        meta={"device": "RTX_2080TI", "seed": 0})
 
     # shape checks
     for (name, phase), ob in table.items():

@@ -66,7 +66,11 @@ def test_resilient_runner_overhead(benchmark):
     emit("resilience_overhead", render_table(
         ["workload", "direct", "resilient runner", "overhead"], rows,
         title="resilient-runner overhead on the healthy path "
-              f"(budget {OVERHEAD_BUDGET:.0%}, best of {ROUNDS})"))
+              f"(budget {OVERHEAD_BUDGET:.0%}, best of {ROUNDS})"),
+        rows=rows,
+        columns=["workload", "direct", "resilient_runner", "overhead"],
+        meta={"budget": OVERHEAD_BUDGET, "rounds": ROUNDS,
+              "overheads": overheads})
     for name, overhead in overheads.items():
         assert overhead < OVERHEAD_BUDGET, (
             f"{name}: runner overhead {overhead:.1%} exceeds "

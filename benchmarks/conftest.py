@@ -1,10 +1,15 @@
 """Shared benchmark fixtures: cached workload traces and a result
 emitter that both prints each reproduced table/figure and archives it
-under ``benchmarks/results/``."""
+under ``benchmarks/results/`` — human-readable ``.txt`` always, plus a
+machine-readable ``.json`` sidecar when the caller passes structured
+rows (so downstream tooling can diff reproduced figures without
+screen-scraping tables)."""
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Optional, Sequence
 
 import pytest
 
@@ -23,12 +28,32 @@ def cached_trace(name: str, **params) -> Trace:
     return _TRACE_CACHE[key]
 
 
-def emit(experiment: str, text: str) -> None:
-    """Print a reproduced artifact and archive it to results/."""
+def emit(experiment: str, text: str,
+         rows: Optional[Sequence[Sequence[object]]] = None,
+         columns: Optional[Sequence[str]] = None,
+         meta: Optional[dict] = None) -> None:
+    """Print a reproduced artifact and archive it to results/.
+
+    Always writes ``results/<experiment>.txt``; when ``rows`` is given
+    it also writes ``results/<experiment>.json`` holding the structured
+    rows (as dicts keyed by ``columns`` when provided, else lists) and
+    any ``meta`` describing the measurement.
+    """
     banner = f"\n{'=' * 72}\n{experiment}\n{'=' * 72}\n"
     print(banner + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    if rows is None:
+        return
+    if columns:
+        structured = [dict(zip(columns, row)) for row in rows]
+    else:
+        structured = [list(row) for row in rows]
+    payload = {"experiment": experiment, "rows": structured,
+               "meta": dict(meta or {})}
+    (RESULTS_DIR / f"{experiment}.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True, default=str)
+        + "\n")
 
 
 @pytest.fixture(scope="session")

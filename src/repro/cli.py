@@ -11,10 +11,15 @@ Usage (``python -m repro ...``):
     python -m repro chrome nvsa -o nvsa_trace.json
     python -m repro energy nvsa
     python -m repro lint --strict --format json
+    python -m repro trace export nvsa --format chrome -o nvsa.json
+    python -m repro metrics nvsa --format prom
+    python -m repro record nvsa --db runs.jsonl
+    python -m repro compare baseline.json candidate.json
 
 Everything routes through the same public API the benchmarks use.
 ``faults`` runs an injection experiment and exits nonzero (2 degraded,
-3 failed) with a quarantine report instead of a traceback.
+3 failed) with a quarantine report instead of a traceback; ``compare``
+exits 4 when the candidate run regressed beyond thresholds.
 """
 
 from __future__ import annotations
@@ -118,6 +123,9 @@ def _build_parser() -> argparse.ArgumentParser:
              "own source (exit 2 on findings, 3 on internal error)")
     from repro.lint.cli import add_lint_arguments
     add_lint_arguments(lint)
+
+    from repro.obs.cli import add_obs_subcommands
+    add_obs_subcommands(sub)
     return parser
 
 
@@ -133,6 +141,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         from repro.lint.cli import run_lint_command
         return run_lint_command(args)
+
+    from repro.obs.cli import OBS_COMMANDS, run_obs_command
+    if args.command in OBS_COMMANDS:
+        result = run_obs_command(args)
+        if result is not None:
+            return result
 
     if args.command == "analyze-trace":
         from repro.core.report import render_shares

@@ -56,6 +56,11 @@ class TraceEvent:
     live_bytes:
         Runtime-tracked live tensor bytes *after* this event, used by
         the memory analysis (Fig. 3b).
+    t_start:
+        Measured start timestamp, seconds since the process-wide
+        tracing epoch (:func:`repro.obs.spans.now`).  Places the op on
+        the same absolute timeline as the span tree; 0.0 in traces
+        archived before the observability layer existed.
     """
 
     eid: int
@@ -72,6 +77,7 @@ class TraceEvent:
     wall_time: float = 0.0
     parents: Tuple[int, ...] = ()
     live_bytes: int = 0
+    t_start: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -101,6 +107,10 @@ class Trace:
         self.events: List[TraceEvent] = list(events) if events is not None else []
         #: free-form metadata recorded by workloads (task size, dims ...)
         self.metadata: Dict[str, object] = {}
+        #: hierarchical timeline collected by the observability layer
+        #: (:class:`repro.obs.spans.SpanRecord` instances); empty for
+        #: traces built outside a profiling context.
+        self.spans: List[object] = []
 
     # -- collection protocol -------------------------------------------------
     def append(self, event: TraceEvent) -> None:
@@ -219,6 +229,7 @@ def merge_traces(traces: Sequence[Trace], workload: str = "") -> Trace:
                 wall_time=event.wall_time,
                 parents=tuple(id_map[p] for p in event.parents if p in id_map),
                 live_bytes=event.live_bytes,
+                t_start=event.t_start,
             ))
         if trace.events:
             offset = merged.events[-1].eid + 1

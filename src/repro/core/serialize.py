@@ -18,39 +18,66 @@ from repro.core.taxonomy import OpCategory
 FORMAT_VERSION = 1
 
 
+def safe_json_value(value):
+    """``value`` if JSON-serializable, else its ``repr``."""
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+def event_to_dict(e: TraceEvent) -> Dict:
+    """One event as plain JSON-safe structures."""
+    return {
+        "eid": e.eid,
+        "name": e.name,
+        "category": e.category.value,
+        "phase": e.phase,
+        "stage": e.stage,
+        "flops": e.flops,
+        "bytes_read": e.bytes_read,
+        "bytes_written": e.bytes_written,
+        "input_shapes": [list(s) for s in e.input_shapes],
+        "output_shape": list(e.output_shape),
+        "output_sparsity": e.output_sparsity,
+        "wall_time": e.wall_time,
+        "parents": list(e.parents),
+        "live_bytes": e.live_bytes,
+        "t_start": e.t_start,
+    }
+
+
+def event_from_dict(raw: Dict) -> TraceEvent:
+    """Inverse of :func:`event_to_dict` (missing keys default)."""
+    return TraceEvent(
+        eid=int(raw["eid"]),
+        name=raw["name"],
+        category=OpCategory(raw["category"]),
+        phase=raw.get("phase", ""),
+        stage=raw.get("stage", ""),
+        flops=float(raw.get("flops", 0.0)),
+        bytes_read=int(raw.get("bytes_read", 0)),
+        bytes_written=int(raw.get("bytes_written", 0)),
+        input_shapes=tuple(tuple(s)
+                           for s in raw.get("input_shapes", [])),
+        output_shape=tuple(raw.get("output_shape", [])),
+        output_sparsity=float(raw.get("output_sparsity", 0.0)),
+        wall_time=float(raw.get("wall_time", 0.0)),
+        parents=tuple(raw.get("parents", [])),
+        live_bytes=int(raw.get("live_bytes", 0)),
+        t_start=float(raw.get("t_start", 0.0)),
+    )
+
+
 def trace_to_dict(trace: Trace) -> Dict:
     """Serialize to plain JSON-safe structures."""
-    def safe_metadata(value):
-        try:
-            json.dumps(value)
-            return value
-        except (TypeError, ValueError):
-            return repr(value)
-
     return {
         "format_version": FORMAT_VERSION,
         "workload": trace.workload,
-        "metadata": {key: safe_metadata(val)
+        "metadata": {key: safe_json_value(val)
                      for key, val in trace.metadata.items()},
-        "events": [
-            {
-                "eid": e.eid,
-                "name": e.name,
-                "category": e.category.value,
-                "phase": e.phase,
-                "stage": e.stage,
-                "flops": e.flops,
-                "bytes_read": e.bytes_read,
-                "bytes_written": e.bytes_written,
-                "input_shapes": [list(s) for s in e.input_shapes],
-                "output_shape": list(e.output_shape),
-                "output_sparsity": e.output_sparsity,
-                "wall_time": e.wall_time,
-                "parents": list(e.parents),
-                "live_bytes": e.live_bytes,
-            }
-            for e in trace
-        ],
+        "events": [event_to_dict(e) for e in trace],
     }
 
 
@@ -63,23 +90,7 @@ def trace_from_dict(payload: Dict) -> Trace:
     trace = Trace(payload.get("workload", ""))
     trace.metadata = dict(payload.get("metadata", {}))
     for raw in payload["events"]:
-        trace.append(TraceEvent(
-            eid=int(raw["eid"]),
-            name=raw["name"],
-            category=OpCategory(raw["category"]),
-            phase=raw.get("phase", ""),
-            stage=raw.get("stage", ""),
-            flops=float(raw.get("flops", 0.0)),
-            bytes_read=int(raw.get("bytes_read", 0)),
-            bytes_written=int(raw.get("bytes_written", 0)),
-            input_shapes=tuple(tuple(s)
-                               for s in raw.get("input_shapes", [])),
-            output_shape=tuple(raw.get("output_shape", [])),
-            output_sparsity=float(raw.get("output_sparsity", 0.0)),
-            wall_time=float(raw.get("wall_time", 0.0)),
-            parents=tuple(raw.get("parents", [])),
-            live_bytes=int(raw.get("live_bytes", 0)),
-        ))
+        trace.append(event_from_dict(raw))
     return trace
 
 

@@ -15,9 +15,10 @@ counters can silently go wrong:
 * **RL004** — legacy global RNG calls and ``time.time()`` make traces
   non-reproducible / non-monotonic; use ``np.random.default_rng`` and
   ``time.perf_counter``.
-* **RL005** — mutating the thread-local profile/fault-hook stacks
-  outside the approved context managers corrupts phase labels and
-  hook pairing for every event that follows.
+* **RL005** — mutating the thread-local profile/fault-hook stacks —
+  or the observability layer's span/collector/metrics-runtime stacks —
+  outside the approved context managers corrupts phase labels, span
+  parent links, and hook pairing for every event that follows.
 """
 
 from __future__ import annotations
@@ -409,10 +410,20 @@ class Determinism(LintCheck):
 # RL005 — thread-local context stacks stay behind their managers
 # ---------------------------------------------------------------------------
 
-_PRIVATE_CONTEXT_NAMES: Set[str] = {"_ctx_stack", "_fault_stack"}
-_CONTEXT_MODULE = "tensor/context.py"
+_PRIVATE_CONTEXT_NAMES: Set[str] = {"_ctx_stack", "_fault_stack",
+                                    "_span_stack", "_collector_stack",
+                                    "_runtime_stack"}
+#: modules that legitimately own a thread-local stack (exempt)
+_CONTEXT_MODULES: Tuple[str, ...] = ("tensor/context.py",
+                                     "obs/spans.py", "obs/metrics.py")
+#: ``from <module ending here> import _private`` is also a violation
+_PRIVATE_IMPORT_SOURCES: Tuple[str, ...] = ("tensor.context",
+                                            "obs.spans", "obs.metrics")
 _PHASE_ATTRS: Set[str] = {"current_phase", "current_stage"}
-_HOOK_FUNCS: Set[str] = {"push_fault_hook", "pop_fault_hook"}
+_HOOK_FUNCS: Set[str] = {"push_fault_hook", "pop_fault_hook",
+                         "push_span", "pop_span",
+                         "install_collector", "uninstall_collector",
+                         "push_runtime", "pop_runtime"}
 
 
 class _ContextSafetyVisitor(ast.NodeVisitor):
@@ -446,7 +457,7 @@ class _ContextSafetyVisitor(ast.NodeVisitor):
 
     # -- violations -----------------------------------------------------------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        if node.module and node.module.endswith("tensor.context"):
+        if node.module and node.module.endswith(_PRIVATE_IMPORT_SOURCES):
             for alias in node.names:
                 if (alias.name in _PRIVATE_CONTEXT_NAMES
                         or alias.name == "_state"):
@@ -455,8 +466,9 @@ class _ContextSafetyVisitor(ast.NodeVisitor):
                         node.col_offset,
                         f"importing private context internal "
                         f"{alias.name!r}; use the ProfileContext / "
-                        f"phase() / stage() / fault-hook context "
-                        f"managers instead")
+                        f"phase() / stage() / span() / SpanCollector / "
+                        f"scoped_runtime / fault-hook context managers "
+                        f"instead")
         self.generic_visit(node)
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -472,8 +484,9 @@ class _ContextSafetyVisitor(ast.NodeVisitor):
                 self.check, self.module.relpath, node.lineno,
                 node.col_offset,
                 f"{name}() outside an __enter__/__exit__ pair or "
-                f"@contextmanager; unbalanced hook stacks poison every "
-                f"later dispatch — wrap the hook in a context manager")
+                f"@contextmanager; an unbalanced stack poisons every "
+                f"later dispatch/span/observation — wrap it in a "
+                f"context manager")
         self.generic_visit(node)
 
     def _check_targets(self, targets) -> None:
@@ -500,11 +513,11 @@ class _ContextSafetyVisitor(ast.NodeVisitor):
 class ContextSafety(LintCheck):
     check_id = "RL005"
     name = "context-safety"
-    description = ("profile/fault-hook stacks are mutated only through "
-                   "the approved context managers")
+    description = ("profile/fault-hook/span/metrics stacks are mutated "
+                   "only through the approved context managers")
     severity = SEVERITY_ERROR
 
     def visit_module(self, module, ctx) -> None:
-        if module.relpath.endswith(_CONTEXT_MODULE):
+        if module.relpath.endswith(_CONTEXT_MODULES):
             return
         _ContextSafetyVisitor(self, module, ctx).visit(module.tree)

@@ -1,0 +1,51 @@
+"""Observability layer: spans, metrics, exporters, run records.
+
+Three altitudes of visibility over the characterization suite:
+
+* **within a run** — :mod:`repro.obs.spans` collects a hierarchical
+  span timeline (profile / phase / stage / runner attempts) on top of
+  the flat op trace;
+* **across components** — :mod:`repro.obs.metrics` keeps a
+  process-wide Prometheus-style instrument registry the dispatcher
+  and resilient runner update (rendered by :mod:`repro.obs.prom`);
+* **between runs** — :mod:`repro.obs.runrec` appends one durable
+  :class:`~repro.obs.runrec.RunRecord` per run into ``runs.jsonl``,
+  and :mod:`repro.obs.compare` diffs records to gate regressions.
+
+Exporters (:mod:`repro.obs.chrome`, :mod:`repro.obs.jsonl`) serialize
+traces + spans to Chrome Trace Event JSON and a re-importable JSONL
+event log.  All collection is off by default and adds <5% overhead
+when enabled (``benchmarks/bench_obs_overhead.py``).
+"""
+
+from repro.obs.chrome import (CATEGORY_COLORS, export_chrome,
+                              trace_to_chrome, trace_to_chrome_events)
+from repro.obs.compare import (DEFAULT_THRESHOLDS, ComparisonReport,
+                               MetricDelta, compare_records)
+from repro.obs.jsonl import (read_jsonl, trace_from_jsonl_lines,
+                             trace_to_jsonl, write_jsonl)
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, RuntimeMetrics,
+                               active_runtime, disable, enable,
+                               scoped_runtime)
+from repro.obs.prom import render_registry, render_runtime
+from repro.obs.runrec import (RunRecord, append_record, counters_digest,
+                              load_record, load_records,
+                              record_from_trace, save_record)
+from repro.obs.spans import (SpanCollector, SpanRecord, children_of,
+                             current_span, now, render_spans, span,
+                             span_roots, tracing_active)
+
+__all__ = [
+    "CATEGORY_COLORS", "ComparisonReport", "Counter",
+    "DEFAULT_THRESHOLDS", "Gauge", "Histogram", "MetricDelta",
+    "MetricsRegistry", "RunRecord", "RuntimeMetrics", "SpanCollector",
+    "SpanRecord", "active_runtime", "append_record", "children_of",
+    "compare_records", "counters_digest", "current_span", "disable",
+    "enable", "export_chrome", "load_record", "load_records", "now",
+    "read_jsonl", "record_from_trace", "render_registry",
+    "render_runtime", "render_spans", "save_record", "scoped_runtime",
+    "span", "span_roots", "trace_from_jsonl_lines", "trace_to_chrome",
+    "trace_to_chrome_events", "trace_to_jsonl", "tracing_active",
+    "write_jsonl",
+]

@@ -1,0 +1,191 @@
+"""CLI subcommands for the observability layer.
+
+Wired into the main ``repro`` parser by :func:`add_obs_subcommands`:
+
+    python -m repro trace export nvsa --format chrome -o nvsa.json
+    python -m repro trace export nvsa --format jsonl -o nvsa.jsonl
+    python -m repro metrics nvsa --format prom
+    python -m repro record nvsa --db runs.jsonl
+    python -m repro compare runs.jsonl --last 2
+    python -m repro compare baseline.json candidate.json --warn-only
+
+``compare`` exits 0 when the candidate is within thresholds and 4 on
+a regression (``--warn-only`` reports but always exits 0), so CI can
+gate on drift between commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Optional
+
+#: exit code for a regression detected by ``repro compare``
+EXIT_REGRESSION = 4
+
+OBS_COMMANDS = ("trace", "metrics", "record", "compare")
+
+
+def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
+    """Register the observability subcommands on the main parser."""
+    trace = sub.add_parser(
+        "trace", help="export profiled traces (chrome / jsonl)")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="profile a workload and export its timeline")
+    export.add_argument("workload", help="registered workload name")
+    export.add_argument("--format", default="chrome",
+                        choices=("chrome", "jsonl"),
+                        help="output format (default chrome)")
+    export.add_argument("-o", "--output", default=None,
+                        help="output path (default stdout)")
+    export.add_argument("--seed", type=int, default=0)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="profile a workload and print its runtime metrics")
+    metrics.add_argument("workload", help="registered workload name")
+    metrics.add_argument("--format", default="prom",
+                         choices=("prom", "json"),
+                         help="Prometheus text or JSON snapshot")
+    metrics.add_argument("--seed", type=int, default=0)
+
+    record = sub.add_parser(
+        "record",
+        help="profile a workload and append a run record to the "
+             "run database")
+    record.add_argument("workload", help="registered workload name")
+    record.add_argument("--db", default=None,
+                        help="runs database path (default runs.jsonl); "
+                             "with -o, write a standalone baseline "
+                             "file instead")
+    record.add_argument("-o", "--output", default=None,
+                        help="write one standalone record JSON here "
+                             "(for CI baselines) instead of appending")
+    record.add_argument("--device", default="rtx")
+    record.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two run records and flag regressions "
+             f"(exit {EXIT_REGRESSION})")
+    compare.add_argument(
+        "paths", nargs="*", default=[],
+        help="BASELINE CANDIDATE record files, or one runs.jsonl "
+             "database (default runs.jsonl)")
+    compare.add_argument("--last", type=int, default=2,
+                         help="with a single database: compare the "
+                              "last N records' endpoints (default 2)")
+    compare.add_argument("--threshold", action="append", default=[],
+                         metavar="METRIC=FRACTION",
+                         help="override a regression threshold "
+                              "(repeatable)")
+    compare.add_argument("--warn-only", action="store_true",
+                         help="report regressions but exit 0")
+
+
+def _profile(workload: str, seed: int):
+    from repro.workloads import available, create
+    if workload not in available():
+        raise SystemExit(
+            f"unknown workload {workload!r}; available: {available()}")
+    return create(workload, seed=seed).profile()
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.obs.chrome import trace_to_chrome
+    from repro.obs.jsonl import trace_to_jsonl
+    trace = _profile(args.workload, args.seed)
+    payload = (trace_to_chrome(trace) if args.format == "chrome"
+               else trace_to_jsonl(trace))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload)
+        hint = ("open in chrome://tracing or Perfetto"
+                if args.format == "chrome"
+                else "re-import with repro.obs.jsonl.read_jsonl")
+        print(f"wrote {args.output} ({len(trace)} events, "
+              f"{len(trace.spans)} spans; {hint})")
+    else:
+        print(payload, end="")
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.prom import render_runtime
+    with obs_metrics.scoped_runtime() as runtime:
+        _profile(args.workload, args.seed)
+        if args.format == "json":
+            print(json.dumps(runtime.registry.snapshot(), indent=1,
+                             sort_keys=True))
+        else:
+            print(render_runtime(runtime), end="")
+    return 0
+
+
+def _run_record(args: argparse.Namespace) -> int:
+    from repro.hwsim.devices import get_device
+    from repro.obs.runrec import (DEFAULT_DB, append_record,
+                                  record_from_trace, save_record)
+    device = get_device(args.device)
+    trace = _profile(args.workload, args.seed)
+    record = record_from_trace(trace, device=device)
+    if args.output:
+        save_record(record, args.output)
+        print(f"wrote baseline record {args.output} ({record.label()})")
+    else:
+        db = args.db or DEFAULT_DB
+        append_record(record, db)
+        print(f"appended {record.label()} to {db}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.obs.compare import compare_records, parse_threshold_overrides
+    from repro.obs.runrec import DEFAULT_DB, load_record, load_records
+    try:
+        thresholds = parse_threshold_overrides(args.threshold)
+    except ValueError as exc:
+        raise SystemExit(f"repro compare: {exc}")
+    paths = list(args.paths)
+    if len(paths) == 2:
+        base = load_record(paths[0])
+        cand = load_record(paths[1])
+    elif len(paths) <= 1:
+        db = paths[0] if paths else DEFAULT_DB
+        try:
+            records = load_records(db)
+        except OSError as exc:
+            raise SystemExit(f"repro compare: {exc}")
+        window = records[-max(2, args.last):]
+        if len(window) < 2:
+            raise SystemExit(
+                f"repro compare: {db} holds {len(records)} record(s); "
+                "need at least 2")
+        base, cand = window[0], window[-1]
+    else:
+        raise SystemExit("repro compare: expected BASELINE CANDIDATE "
+                         "or a single runs.jsonl database")
+    report = compare_records(base, cand, thresholds)
+    print(report.render())
+    if report.ok:
+        return 0
+    if args.warn_only:
+        print(f"\nwarn-only: {len(report.regressions)} regression(s) "
+              "ignored")
+        return 0
+    return EXIT_REGRESSION
+
+
+def run_obs_command(args: argparse.Namespace) -> Optional[int]:
+    """Handle an observability subcommand; ``None`` if not ours."""
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
+    if args.command == "record":
+        return _run_record(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    return None

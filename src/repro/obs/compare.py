@@ -1,0 +1,165 @@
+"""Run comparison: diff two :class:`RunRecord` s, flag regressions.
+
+Every compared metric is *lower-is-better* (events, FLOPs, bytes,
+peak memory, projected latency).  A candidate value exceeding the
+baseline by more than the metric's relative threshold is a
+**regression**; undershooting it by the same margin is an
+**improvement**; anything inside the band is **ok**.  The CLI maps
+"any regression" to a non-zero exit code so CI can gate on drift —
+or warn-only, for noisy environments.
+
+Thresholds default to tight bands on the analytic counters (which
+are deterministic per seed) and looser bands on projections; wall
+time is recorded but never gated (it measures the build machine, not
+the code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.report import render_table
+from repro.obs.runrec import RunRecord
+
+STATUS_OK = "ok"
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+
+#: metric -> allowed relative increase before it counts as a regression
+DEFAULT_THRESHOLDS: Dict[str, float] = {
+    "events": 0.0,
+    "total_flops": 0.001,
+    "total_bytes": 0.001,
+    "peak_live_bytes": 0.10,
+    "projected_latency_s": 0.05,
+    "phase_latency_s": 0.10,  # applied to each phase entry
+}
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric."""
+
+    metric: str
+    base: float
+    cand: float
+    threshold: float
+    status: str
+
+    @property
+    def abs_delta(self) -> float:
+        return self.cand - self.base
+
+    @property
+    def rel_delta(self) -> Optional[float]:
+        if self.base == 0.0:
+            return None
+        return self.cand / self.base - 1.0
+
+
+@dataclass
+class ComparisonReport:
+    """Full diff of two run records."""
+
+    base_label: str
+    cand_label: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+    digest_match: Optional[bool] = None
+    workload_match: bool = True
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.status == STATUS_REGRESSED]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        rows = []
+        for delta in self.deltas:
+            rel = delta.rel_delta
+            rel_text = "n/a" if rel is None else f"{rel * 100:+.2f}%"
+            rows.append([delta.metric, f"{delta.base:.6g}",
+                         f"{delta.cand:.6g}", rel_text,
+                         f"{delta.threshold * 100:.1f}%", delta.status])
+        verdict = ("OK" if self.ok
+                   else f"{len(self.regressions)} REGRESSION(S)")
+        parts = [
+            f"baseline:  {self.base_label}",
+            f"candidate: {self.cand_label}",
+            "",
+            render_table(
+                ["metric", "baseline", "candidate", "delta",
+                 "threshold", "status"],
+                rows, title=f"run comparison: {verdict}"),
+        ]
+        if not self.workload_match:
+            parts.append("")
+            parts.append("WARNING: records describe different workloads "
+                         "— the diff compares apples to oranges")
+        if self.digest_match is False:
+            parts.append("")
+            parts.append("note: counter digests differ — the op stream "
+                         "changed (not necessarily a regression)")
+        return "\n".join(parts)
+
+
+def _judge(metric: str, base: float, cand: float,
+           threshold: float) -> MetricDelta:
+    if base == 0.0:
+        status = STATUS_OK if cand <= 0.0 else STATUS_REGRESSED
+    elif cand > base * (1.0 + threshold):
+        status = STATUS_REGRESSED
+    elif cand < base * (1.0 - threshold):
+        status = STATUS_IMPROVED
+    else:
+        status = STATUS_OK
+    return MetricDelta(metric=metric, base=base, cand=cand,
+                       threshold=threshold, status=status)
+
+
+def compare_records(base: RunRecord, cand: RunRecord,
+                    thresholds: Optional[Dict[str, float]] = None
+                    ) -> ComparisonReport:
+    """Diff ``cand`` against ``base`` under ``thresholds`` overrides."""
+    limits = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        limits.update(thresholds)
+    report = ComparisonReport(
+        base_label=base.label(), cand_label=cand.label(),
+        workload_match=(base.workload == cand.workload))
+    for metric in ("events", "total_flops", "total_bytes",
+                   "peak_live_bytes", "projected_latency_s"):
+        report.deltas.append(_judge(
+            metric, float(getattr(base, metric)),
+            float(getattr(cand, metric)), limits[metric]))
+    phase_limit = limits["phase_latency_s"]
+    for phase in sorted(set(base.phase_latency_s)
+                        | set(cand.phase_latency_s)):
+        report.deltas.append(_judge(
+            f"phase_latency_s[{phase}]",
+            base.phase_latency_s.get(phase, 0.0),
+            cand.phase_latency_s.get(phase, 0.0), phase_limit))
+    if base.counters_digest and cand.counters_digest:
+        report.digest_match = (base.counters_digest
+                               == cand.counters_digest)
+    return report
+
+
+def parse_threshold_overrides(specs: List[str]) -> Dict[str, float]:
+    """Parse CLI ``metric=fraction`` override strings."""
+    out: Dict[str, float] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise ValueError(
+                f"bad threshold {spec!r}; expected metric=fraction")
+        metric, _, value = spec.partition("=")
+        metric = metric.strip()
+        if metric not in DEFAULT_THRESHOLDS:
+            raise ValueError(
+                f"unknown metric {metric!r}; known: "
+                f"{sorted(DEFAULT_THRESHOLDS)}")
+        out[metric] = float(value)
+    return out

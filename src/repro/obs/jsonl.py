@@ -1,0 +1,94 @@
+"""JSONL structured event log: durable, streamable, re-importable.
+
+One JSON object per line:
+
+* a ``meta`` header (workload, trace metadata, format version),
+* one ``op`` line per :class:`~repro.core.profiler.TraceEvent`
+  (the same field layout as :mod:`repro.core.serialize`),
+* one ``span`` line per collected
+  :class:`~repro.obs.spans.SpanRecord`.
+
+Unlike the single-document trace archive, a JSONL log can be appended
+while a run is in flight, tailed by external collectors, and
+truncated without losing every earlier record — the shape log
+shippers (fluentd, vector, Loki) expect.  :func:`read_jsonl`
+reconstructs an equivalent :class:`Trace` (identical per-phase and
+per-category totals) including its span tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List
+
+from repro.core.profiler import Trace
+from repro.core.serialize import (event_from_dict, event_to_dict,
+                                  safe_json_value)
+from repro.obs.spans import SpanRecord
+
+#: bump when the line layout changes
+JSONL_VERSION = 1
+
+
+def trace_to_jsonl_lines(trace: Trace) -> Iterator[str]:
+    """Yield the log lines for ``trace`` (no trailing newlines)."""
+    yield json.dumps({
+        "type": "meta",
+        "version": JSONL_VERSION,
+        "workload": trace.workload,
+        "metadata": {key: safe_json_value(value)
+                     for key, value in trace.metadata.items()},
+    })
+    for event in trace.events:
+        record: Dict[str, object] = {"type": "op"}
+        record.update(event_to_dict(event))
+        yield json.dumps(record)
+    for span in trace.spans:
+        if isinstance(span, SpanRecord):
+            record = {"type": "span"}
+            record.update(span.to_dict())
+            yield json.dumps(record)
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """The whole log as one string (trailing newline included)."""
+    return "\n".join(trace_to_jsonl_lines(trace)) + "\n"
+
+
+def write_jsonl(trace: Trace, path: str) -> None:
+    """Write the JSONL event log for ``trace`` to ``path``."""
+    with open(path, "w") as handle:
+        for line in trace_to_jsonl_lines(trace):
+            handle.write(line + "\n")
+
+
+def trace_from_jsonl_lines(lines: List[str]) -> Trace:
+    """Rebuild a :class:`Trace` (events + spans) from log lines."""
+    trace = Trace()
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        kind = record.get("type")
+        if kind == "meta":
+            version = record.get("version")
+            if version != JSONL_VERSION:
+                raise ValueError(
+                    f"unsupported JSONL log version: {version!r}")
+            trace.workload = record.get("workload", "")
+            trace.metadata = dict(record.get("metadata", {}))
+        elif kind == "op":
+            trace.append(event_from_dict(record))
+        elif kind == "span":
+            trace.spans.append(SpanRecord.from_dict(record))
+        else:
+            raise ValueError(
+                f"line {number}: unknown record type {kind!r}")
+    return trace
+
+
+def read_jsonl(path: str) -> Trace:
+    """Read a JSONL event log written by :func:`write_jsonl`."""
+    with open(path) as handle:
+        return trace_from_jsonl_lines(handle.readlines())

@@ -1,0 +1,229 @@
+"""Thread-local span tracing: the hierarchical timeline under a run.
+
+A *span* is a named interval with a start/end timestamp, free-form
+attributes, and a parent link — the building block every tracing
+system (OpenTelemetry, Chrome tracing, Perfetto) shares.  The suite
+opens spans at three altitudes:
+
+* :class:`~repro.tensor.context.ProfileContext` opens a root
+  ``profile:<workload>`` span and collects every span finished inside
+  it onto ``trace.spans``;
+* ``T.phase(...)`` / ``T.stage(...)`` open ``phase:*`` / ``stage:*``
+  child spans, so the flat op list gains a tree above it;
+* the resilient runner opens ``run:*`` / ``attempt#N`` /
+  ``health_check`` / ``backoff`` spans around workload execution.
+
+All timestamps are offsets from one process-wide monotonic epoch
+(:func:`now`), so runner-level spans and op events recorded deep
+inside a profiled workload share a single timeline and can be merged
+by the exporters in :mod:`repro.obs.chrome` / :mod:`repro.obs.jsonl`.
+
+When no collector is installed, :func:`span` is a no-op that never
+touches the stacks — library code stays usable untraced, mirroring
+how ops dispatched outside a profiling context skip bookkeeping.
+
+The thread-local stacks here are private: ``push_span`` /
+``pop_span`` / ``install_collector`` / ``uninstall_collector`` may
+only be called from ``__enter__``/``__exit__`` pairs or
+``@contextmanager`` functions (enforced by lint check RL005), because
+an unbalanced stack corrupts parent links for every span that
+follows.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Process-wide monotonic epoch.  Every span and op timestamp in this
+#: process is a ``perf_counter`` offset from this origin.
+_EPOCH = time.perf_counter()
+
+
+def now() -> float:
+    """Seconds since the process-wide tracing epoch (monotonic)."""
+    return time.perf_counter() - _EPOCH
+
+
+@dataclass
+class SpanRecord:
+    """One finished interval of the hierarchical timeline."""
+
+    sid: int
+    parent: Optional[int]
+    name: str
+    start: float
+    end: float = 0.0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"sid": self.sid, "parent": self.parent,
+                "name": self.name, "start": self.start, "end": self.end,
+                "attrs": dict(self.attrs)}
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "SpanRecord":
+        return cls(sid=int(raw["sid"]),
+                   parent=(None if raw.get("parent") is None
+                           else int(raw["parent"])),  # type: ignore[arg-type]
+                   name=str(raw["name"]),
+                   start=float(raw["start"]),  # type: ignore[arg-type]
+                   end=float(raw.get("end", 0.0)),  # type: ignore[arg-type]
+                   attrs=dict(raw.get("attrs", {})))  # type: ignore[arg-type]
+
+
+_state = threading.local()
+
+
+def _span_stack() -> List[SpanRecord]:
+    if not hasattr(_state, "spans"):
+        _state.spans = []
+    return _state.spans
+
+
+def _collector_stack() -> List[List[SpanRecord]]:
+    if not hasattr(_state, "collectors"):
+        _state.collectors = []
+    return _state.collectors
+
+
+def tracing_active() -> bool:
+    """True when at least one span collector is installed."""
+    return bool(_collector_stack())
+
+
+def current_span() -> Optional[SpanRecord]:
+    """The innermost open span on this thread, or ``None``."""
+    stack = _span_stack()
+    return stack[-1] if stack else None
+
+
+def _next_sid() -> int:
+    sid = getattr(_state, "next_sid", 0)
+    _state.next_sid = sid + 1
+    return sid
+
+
+def push_span(name: str,
+              attrs: Optional[Dict[str, object]] = None) -> SpanRecord:
+    """Open a span (internal; use :func:`span` or the tensor contexts)."""
+    stack = _span_stack()
+    parent = stack[-1].sid if stack else None
+    record = SpanRecord(sid=_next_sid(), parent=parent, name=name,
+                        start=now(), attrs=dict(attrs or {}))
+    stack.append(record)
+    return record
+
+
+def pop_span(record: SpanRecord) -> None:
+    """Close ``record``; it must be the innermost open span."""
+    stack = _span_stack()
+    if not stack or stack[-1] is not record:  # pragma: no cover - misuse
+        raise RuntimeError("spans exited out of order")
+    stack.pop()
+    record.end = now()
+    # every active collector receives the span, so an outer
+    # (runner-level) collector also sees workload-internal spans
+    for sink in _collector_stack():
+        sink.append(record)
+
+
+def install_collector(sink: List[SpanRecord]) -> None:
+    """Install ``sink`` to receive every span finished on this thread."""
+    _collector_stack().append(sink)
+
+
+def uninstall_collector(sink: List[SpanRecord]) -> None:
+    """Remove ``sink``; it must be the innermost installed collector.
+
+    When the last collector leaves and no span is open, the span-id
+    counter resets so successive independent runs number their spans
+    identically — exported timelines stay deterministic per seed.
+    """
+    stack = _collector_stack()
+    if not stack or stack[-1] is not sink:  # pragma: no cover - misuse
+        raise RuntimeError("span collectors exited out of order")
+    stack.pop()
+    if not stack and not _span_stack():
+        _state.next_sid = 0
+
+
+class SpanCollector:
+    """Context manager collecting every span finished while installed.
+
+    Usage::
+
+        with SpanCollector() as collector:
+            ... run traced code ...
+        tree = span_roots(collector.spans)
+    """
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+
+    def __enter__(self) -> "SpanCollector":
+        install_collector(self.spans)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall_collector(self.spans)
+
+
+@contextmanager
+def span(name: str, **attrs: object) -> Iterator[Optional[SpanRecord]]:
+    """Open a child span for the block; no-op when tracing is inactive.
+
+    Yields the open :class:`SpanRecord` (or ``None`` on the no-op
+    path) so callers can attach attributes discovered mid-flight::
+
+        with obs.span("attempt", workload=name) as rec:
+            ...
+            if rec is not None:
+                rec.attrs["status"] = "ok"
+    """
+    if not tracing_active():
+        yield None
+        return
+    record = push_span(name, attrs)
+    try:
+        yield record
+    finally:
+        pop_span(record)
+
+
+def span_roots(spans: List[SpanRecord]) -> List[SpanRecord]:
+    """Root spans of a collected list (parent missing from the list)."""
+    sids = {record.sid for record in spans}
+    return [record for record in spans
+            if record.parent is None or record.parent not in sids]
+
+
+def children_of(spans: List[SpanRecord],
+                parent: SpanRecord) -> List[SpanRecord]:
+    """Direct children of ``parent`` within ``spans``, by start time."""
+    return sorted((r for r in spans if r.parent == parent.sid),
+                  key=lambda r: (r.start, r.sid))
+
+
+def render_spans(spans: List[SpanRecord]) -> str:
+    """Indented text rendering of a span tree (debugging aid)."""
+    lines: List[str] = []
+
+    def walk(record: SpanRecord, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(record.attrs.items()))
+        lines.append(f"{'  ' * depth}{record.name} "
+                     f"[{record.duration * 1e3:.3f} ms]"
+                     + (f" {attrs}" if attrs else ""))
+        for child in children_of(spans, record):
+            walk(child, depth + 1)
+
+    for root in sorted(span_roots(spans), key=lambda r: (r.start, r.sid)):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -23,6 +23,13 @@ service needs:
 :func:`run_roster` applies the runner across the Table III roster and
 returns a :class:`RosterReport` in which every workload is ``ok``,
 ``degraded``, or ``failed`` — one crash no longer aborts the run.
+
+The runner is also an observability source: each ``run_workload`` call
+collects a span timeline (``run:<name>`` / ``attempt#N`` /
+``health_check`` / ``backoff``) onto the outcome's ``spans`` and, when
+metrics collection is enabled, bumps the ``repro_attempts_total`` /
+``repro_retries_total`` / ``repro_runs_total`` counters
+(:mod:`repro.obs.metrics`).
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ from repro.core.report import format_time, render_table
 from repro.core.suite import WorkloadReport, characterize_trace
 from repro.hwsim.device import DeviceSpec
 from repro.hwsim.devices import RTX_2080TI
+from repro.obs import metrics as _metrics
+from repro.obs.spans import SpanCollector, SpanRecord
+from repro.obs.spans import span as _span
 from repro.resilience.faults import FaultPlan
 from repro.resilience.health import HealthReport, check_trace_health
 from repro.tensor.context import InjectedFaultError
@@ -158,6 +168,7 @@ class WorkloadOutcome:
     error_class: Optional[str] = None
     attempts: int = 0
     elapsed: float = 0.0
+    spans: List[SpanRecord] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -265,8 +276,25 @@ class ResilientRunner:
         """Profile + characterize ``name`` under full protection.
 
         Never raises for workload misbehaviour: every path ends in an
-        ``ok`` / ``degraded`` / ``failed`` outcome.
+        ``ok`` / ``degraded`` / ``failed`` outcome carrying the span
+        timeline of the run (attempts, backoffs, health checks).
         """
+        collector = SpanCollector()
+        with collector:
+            with _span(f"run:{name}", workload=name, seed=seed) as run_span:
+                outcome = self._run_protected(name, seed, fault_plan,
+                                              params)
+                if run_span is not None:
+                    run_span.attrs["status"] = outcome.status
+                    run_span.attrs["attempts"] = outcome.attempts
+        outcome.spans = collector.spans
+        if _metrics.ENABLED:
+            _metrics.observe_run(name, outcome.status)
+        return outcome
+
+    def _run_protected(self, name: str, seed: int,
+                       fault_plan: Optional[FaultPlan],
+                       params: Dict[str, object]) -> WorkloadOutcome:
         breaker = self.breaker(name)
         rng = random.Random(seed)
         started = self.clock()
@@ -281,20 +309,39 @@ class ResilientRunner:
                     f"failures)")
                 break
             attempts += 1
+            if _metrics.ENABLED:
+                _metrics.observe_attempt(name)
             run_seed = seed + attempt if self.rotate_seed else seed
-            try:
-                trace = self._attempt(name, run_seed, fault_plan, params)
-            except BaseException as exc:  # noqa: BLE001 - boundary by design
+            error: Optional[BaseException] = None
+            with _span(f"attempt#{attempts}", seed=run_seed) as att_span:
+                try:
+                    trace = self._attempt(name, run_seed, fault_plan,
+                                          params)
+                except BaseException as exc:  # noqa: BLE001 - boundary by design
+                    error = exc
+                    if att_span is not None:
+                        att_span.attrs["status"] = "error"
+                        att_span.attrs["error"] = type(exc).__name__
+                else:
+                    if att_span is not None:
+                        att_span.attrs["status"] = "ok"
+            if error is not None:
                 breaker.record_failure()
-                last_error = exc
-                if (classify_error(exc) == DETERMINISTIC
+                last_error = error
+                if (classify_error(error) == DETERMINISTIC
                         or attempt + 1 >= self.retry.max_attempts):
                     break
-                self.sleep(self.retry.delay(attempt, rng))
+                if _metrics.ENABLED:
+                    _metrics.observe_retry(name)
+                with _span("backoff", attempt=attempt):
+                    self.sleep(self.retry.delay(attempt, rng))
                 continue
 
-            health = check_trace_health(
-                trace, expected_phases=self.expected_phases)
+            with _span("health_check", workload=name) as hc_span:
+                health = check_trace_health(
+                    trace, expected_phases=self.expected_phases)
+                if hc_span is not None:
+                    hc_span.attrs["ok"] = health.ok
             report = self._safe_characterize(trace)
             if health.ok and report is not None:
                 breaker.record_success()

@@ -18,7 +18,17 @@ bookkeeping, so library code is usable unprofiled.
 Live-memory tracking: every tensor allocated under an active context
 adds its byte size to a live counter and registers a weakref finalizer
 that subtracts it on garbage collection.  Each event snapshots the
-counter, which powers the Fig. 3b memory analysis.
+counter, which powers the Fig. 3b memory analysis.  Allocation and
+free deltas propagate up the whole context stack: an outer
+``profile()`` wrapping an inner one sees the inner run's allocations
+in its own ``live_bytes``/``peak_live_bytes``, so nested profiling
+never under-reports memory.
+
+Span tracing: entering a :class:`ProfileContext` opens a root
+``profile:<workload>`` span and installs the trace as a span
+collector; ``phase()`` and ``stage()`` open child spans.  The
+resulting span tree lands on ``trace.spans`` and gives exporters
+(:mod:`repro.obs`) a hierarchical timeline above the flat op list.
 
 Fault hooks: alongside the profiling-context stack this module keeps a
 thread-local *fault-hook* stack.  A hook (in practice a
@@ -37,6 +47,7 @@ from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
 from repro.core.profiler import Trace, TraceEvent
+from repro.obs import spans as _spans
 
 _state = threading.local()
 
@@ -101,6 +112,12 @@ def pop_fault_hook(hook: object) -> None:
         raise RuntimeError("fault hooks exited out of order")
 
 
+def _release_all(contexts: List["ProfileContext"], nbytes: int) -> None:
+    """Finalizer: return freed bytes to every context that was credited."""
+    for ctx in contexts:
+        ctx.live_bytes -= nbytes
+
+
 class ProfileContext:
     """Collects trace events and tracks phase/stage labels and live bytes."""
 
@@ -111,6 +128,8 @@ class ProfileContext:
         self.live_bytes = 0
         self.peak_live_bytes = 0
         self._next_eid = 0
+        self._parent: Optional["ProfileContext"] = None
+        self._span: Optional[object] = None
 
     # -- event bookkeeping ---------------------------------------------------
     def next_eid(self) -> int:
@@ -123,20 +142,35 @@ class ProfileContext:
 
     # -- live memory ---------------------------------------------------------
     def track_allocation(self, obj: object, nbytes: int) -> None:
-        """Count ``nbytes`` as live until ``obj`` is garbage collected."""
+        """Count ``nbytes`` as live until ``obj`` is garbage collected.
+
+        The delta is credited to this context *and* every enclosing
+        one (``_parent`` chain captured at ``__enter__``), so an outer
+        ``profile()`` wrapping an inner one reports the true peak
+        instead of only its directly attributed allocations.
+        """
         if nbytes <= 0:
             return
-        self.live_bytes += nbytes
-        if self.live_bytes > self.peak_live_bytes:
-            self.peak_live_bytes = self.live_bytes
-        weakref.finalize(obj, self._release, nbytes)
-
-    def _release(self, nbytes: int) -> None:
-        self.live_bytes -= nbytes
+        contexts: List["ProfileContext"] = []
+        node: Optional["ProfileContext"] = self
+        while node is not None:
+            contexts.append(node)
+            node = node._parent
+        for ctx in contexts:
+            ctx.live_bytes += nbytes
+            if ctx.live_bytes > ctx.peak_live_bytes:
+                ctx.peak_live_bytes = ctx.live_bytes
+        weakref.finalize(obj, _release_all, contexts, nbytes)
 
     # -- context-manager protocol ---------------------------------------------
     def __enter__(self) -> "ProfileContext":
-        _ctx_stack().append(self)
+        stack = _ctx_stack()
+        self._parent = stack[-1] if stack else None
+        stack.append(self)
+        _spans.install_collector(self.trace.spans)
+        self._span = _spans.push_span(
+            "profile:" + (self.trace.workload or "untitled"),
+            {"workload": self.trace.workload})
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -145,6 +179,11 @@ class ProfileContext:
             stack.pop()
         else:  # pragma: no cover - misuse guard
             raise RuntimeError("profile contexts exited out of order")
+        if self._span is not None:
+            _spans.pop_span(self._span)
+            self._span = None
+        _spans.uninstall_collector(self.trace.spans)
+        self._parent = None
 
 
 def profile(workload: str = "") -> ProfileContext:
@@ -161,9 +200,11 @@ def phase(name: str) -> Iterator[None]:
         return
     prev = ctx.current_phase
     ctx.current_phase = name
+    record = _spans.push_span("phase:" + name, {"phase": name})
     try:
         yield
     finally:
+        _spans.pop_span(record)
         ctx.current_phase = prev
 
 
@@ -176,7 +217,9 @@ def stage(name: str) -> Iterator[None]:
         return
     prev = ctx.current_stage
     ctx.current_stage = name
+    record = _spans.push_span("stage:" + name, {"stage": name})
     try:
         yield
     finally:
+        _spans.pop_span(record)
         ctx.current_stage = prev

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.core.profiler import TraceEvent
 from repro.core.taxonomy import OpCategory, category_for
+from repro.obs import metrics as _metrics
+from repro.obs.spans import now as _now
 from repro.tensor.context import (InjectedFaultError, ProfileContext,
                                   active_context, active_fault_hook)
 from repro.tensor.tensor import Tensor
@@ -65,6 +67,19 @@ def _split_inputs(inputs: Sequence[InputLike]) -> Tuple[List[np.ndarray], int,
     return arrays, bytes_read, tuple(shapes), tuple(parents)
 
 
+def _injection_kind(injection: object) -> str:
+    """Metric label for an injection's dominant effect."""
+    if getattr(injection, "raises", False):
+        return "error"
+    if getattr(injection, "poison", None) is not None:
+        return "poison"
+    if float(getattr(injection, "extra_latency", 0.0)) > 0.0:
+        return "latency"
+    if int(getattr(injection, "extra_live_bytes", 0)) > 0:
+        return "alloc"
+    return "other"
+
+
 def _consider_fault(name: str) -> Optional[object]:
     """Ask the active fault hook about this op; raise if it says so.
 
@@ -81,6 +96,8 @@ def _consider_fault(name: str) -> Optional[object]:
     injection = hook.consider(name, phase, stage)
     if injection is None:
         return None
+    if _metrics.ENABLED:
+        _metrics.observe_fault(_injection_kind(injection))
     if getattr(injection, "raises", False):
         raise InjectedFaultError(
             f"injected fault in op {name!r} "
@@ -175,9 +192,9 @@ def run_op(name: str,
             out_arr = _poison_array(out_arr, poison)
         return Tensor(out_arr)
 
-    start = time.perf_counter()
+    t_start = _now()
     out = compute(*arrays)
-    elapsed = time.perf_counter() - start
+    elapsed = _now() - t_start
     out_arr = np.asarray(out)
     elapsed, poison, extra_live = _apply_injection(injection, elapsed)
     if poison is not None:
@@ -193,6 +210,7 @@ def run_op(name: str,
 
     eid = ctx.next_eid()
     result = Tensor(out_arr, producer=eid)
+    live_bytes = ctx.live_bytes + extra_live
     ctx.record(TraceEvent(
         eid=eid,
         name=name,
@@ -207,8 +225,13 @@ def run_op(name: str,
         output_sparsity=sparsity,
         wall_time=elapsed,
         parents=parents,
-        live_bytes=ctx.live_bytes + extra_live,
+        live_bytes=live_bytes,
+        t_start=t_start,
     ))
+    if _metrics.ENABLED:
+        _metrics.observe_op(category.value, elapsed, float(flops),
+                            bytes_read + extra_bytes_read + written,
+                            live_bytes)
     return result
 
 
@@ -233,6 +256,7 @@ def record_event(name: str,
         flops = poison
         output_sparsity = poison
     eid = ctx.next_eid()
+    live_bytes = ctx.live_bytes + extra_live
     ctx.record(TraceEvent(
         eid=eid, name=name, category=category,
         phase=ctx.current_phase, stage=ctx.current_stage,
@@ -240,8 +264,12 @@ def record_event(name: str,
         bytes_written=bytes_written, wall_time=wall_time,
         parents=parents, input_shapes=input_shapes,
         output_shape=output_shape, output_sparsity=output_sparsity,
-        live_bytes=ctx.live_bytes + extra_live,
+        live_bytes=live_bytes,
+        t_start=_now() - wall_time,
     ))
+    if _metrics.ENABLED:
+        _metrics.observe_op(category.value, wall_time, float(flops),
+                            bytes_read + bytes_written, live_bytes)
     return eid
 
 
@@ -264,18 +292,23 @@ def record_region(name: str,
         yield
         return
     injection = _consider_fault(name)  # raising faults abort the region
-    start = time.perf_counter()
+    t_start = _now()
     try:
         yield
     finally:
-        elapsed = time.perf_counter() - start
+        elapsed = _now() - t_start
         elapsed, poison, extra_live = _apply_injection(injection, elapsed)
         region_flops = float(flops) if poison is None else poison
         eid = ctx.next_eid()
+        live_bytes = ctx.live_bytes + extra_live
         ctx.record(TraceEvent(
             eid=eid, name=name, category=category,
             phase=ctx.current_phase, stage=ctx.current_stage,
             flops=region_flops, bytes_read=bytes_read,
             bytes_written=bytes_written, wall_time=elapsed,
-            parents=parents, live_bytes=ctx.live_bytes + extra_live,
+            parents=parents, live_bytes=live_bytes,
+            t_start=t_start,
         ))
+        if _metrics.ENABLED:
+            _metrics.observe_op(category.value, elapsed, region_flops,
+                                bytes_read + bytes_written, live_bytes)

@@ -25,6 +25,7 @@ import numpy as np
 from repro import tensor as T
 from repro.core.profiler import Trace
 from repro.core.taxonomy import NSParadigm
+from repro.obs.spans import span as _span
 from repro.tensor.tensor import Tensor
 
 
@@ -70,9 +71,16 @@ class Workload(abc.ABC):
 
     # -- lifecycle -----------------------------------------------------------
     def build(self) -> None:
-        """Construct models and data (idempotent; not profiled)."""
+        """Construct models and data (idempotent; not profiled).
+
+        Construction is outside the op trace but inside the span
+        timeline: when tracing is active the whole build appears as a
+        ``build`` span, so setup cost is visible without polluting the
+        characterization counters.
+        """
         if not self._built:
-            self._build()
+            with _span("build", workload=self.info.name):
+                self._build()
             self._built = True
 
     @abc.abstractmethod

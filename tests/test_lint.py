@@ -268,6 +268,77 @@ class TestRL005ContextSafety:
         found = by_check(result, "RL005")
         assert [f.line for f in found] == [2]
 
+    def test_unpaired_span_stack_misuse(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.obs.spans import push_span
+
+            def open_forever(name):
+                return push_span(name)
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [4]
+        assert "push_span" in found[0].message
+
+    def test_private_span_stack_import(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.obs.spans import _span_stack
+
+            def peek():
+                return _span_stack()[-1]
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [1, 4]
+
+    def test_unpaired_metrics_runtime_push(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.obs.metrics import push_runtime
+
+            def hijack(runtime):
+                push_runtime(runtime)
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [4]
+
+    def test_collector_inside_enter_exit_allowed(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.obs.spans import (install_collector,
+                                         uninstall_collector)
+
+            class Collector:
+                def __enter__(self):
+                    install_collector(self.spans)
+                    return self
+
+                def __exit__(self, *exc):
+                    uninstall_collector(self.spans)
+            """, relpath="core/collector.py")
+        assert not by_check(result, "RL005")
+
+    def test_public_span_api_clean(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.obs.spans import SpanCollector, span
+
+            def traced():
+                with SpanCollector() as collector:
+                    with span("work", kind="test"):
+                        pass
+                return collector.spans
+            """, relpath="core/traced.py")
+        assert not by_check(result, "RL005")
+
+    def test_stack_owner_modules_exempt(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import threading
+
+            _state = threading.local()
+
+            def _span_stack():
+                if not hasattr(_state, "spans"):
+                    _state.spans = []
+                return _state.spans
+            """, relpath="obs/spans.py")
+        assert not by_check(result, "RL005")
+
 
 class TestSuppression:
     SOURCE = """\
