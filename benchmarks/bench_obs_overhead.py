@@ -48,8 +48,28 @@ def _observe_op_cost() -> float:
         return (time.perf_counter() - start) / MICRO_CALLS
 
 
+def _attribution_cost() -> float:
+    """Per-dispatch cost of span-id attribution, in seconds.
+
+    ``run_op`` reads the innermost span via ``_current_sid()`` on
+    every recorded event.  Both the plain and the metrics-enabled
+    profiling paths pay it (any ProfileContext opens spans), so it is
+    *context*, not part of the enabled-vs-plain budget — reported so a
+    regression in the thread-local lookup shows up here first.
+    """
+    from repro.obs.spans import span, SpanCollector
+    from repro.tensor.dispatch import _current_sid
+    with SpanCollector():
+        with span("bench:attribution"):
+            start = time.perf_counter()
+            for _ in range(MICRO_CALLS):
+                _current_sid()
+            return (time.perf_counter() - start) / MICRO_CALLS
+
+
 def measure_overhead():
     per_op = _observe_op_cost()
+    per_sid = _attribution_cost()
     rows = []
     overheads = {}
     for name in WORKLOADS:
@@ -75,23 +95,26 @@ def measure_overhead():
                      format_time(observed),
                      f"{(observed / plain - 1.0) * 100:+.2f}%",
                      f"{overhead * 100:+.2f}%"])
-    return rows, overheads, per_op
+    return rows, overheads, per_op, per_sid
 
 
 def test_obs_overhead(benchmark):
-    rows, overheads, per_op = benchmark.pedantic(
+    rows, overheads, per_op, per_sid = benchmark.pedantic(
         measure_overhead, rounds=1, iterations=1)
     emit("obs_overhead", render_table(
         ["workload", "events", "plain profile", "metrics+spans",
          "wall delta (noisy)", "per-op overhead"], rows,
         title="observability overhead on the healthy path "
               f"(budget {OVERHEAD_BUDGET:.0%}; observe_op = "
-              f"{per_op * 1e6:.2f} us/op, best of {ROUNDS})"),
+              f"{per_op * 1e6:.2f} us/op, sid attribution = "
+              f"{per_sid * 1e6:.2f} us/op, best of {ROUNDS})"),
         rows=rows,
         columns=["workload", "events", "plain", "observed",
                  "wall_delta", "per_op_overhead"],
         meta={"budget": OVERHEAD_BUDGET, "rounds": ROUNDS,
-              "observe_op_us": per_op * 1e6, "overheads": overheads})
+              "observe_op_us": per_op * 1e6,
+              "attribution_us": per_sid * 1e6,
+              "overheads": overheads})
     for name, overhead in overheads.items():
         assert overhead < OVERHEAD_BUDGET, (
             f"{name}: observability overhead {overhead:.1%} exceeds "

@@ -12,9 +12,11 @@ Usage (``python -m repro ...``):
     python -m repro energy nvsa
     python -m repro lint --strict --format json
     python -m repro trace export nvsa --format chrome -o nvsa.json
+    python -m repro trace export nvsa --format flame --weight flops
     python -m repro metrics nvsa --format prom
     python -m repro record nvsa --db runs.jsonl
     python -m repro compare baseline.json candidate.json
+    python -m repro report nvsa --device rtx2080ti -o report.html
 
 Everything routes through the same public API the benchmarks use.
 ``faults`` runs an injection experiment and exits nonzero (2 degraded,

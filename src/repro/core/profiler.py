@@ -61,6 +61,14 @@ class TraceEvent:
         tracing epoch (:func:`repro.obs.spans.now`).  Places the op on
         the same absolute timeline as the span tree; 0.0 in traces
         archived before the observability layer existed.
+    sid:
+        Span id of the innermost open span
+        (:func:`repro.obs.spans.current_span`) when the op was
+        dispatched — the attribution link that lets per-span analyses
+        (:meth:`Trace.by_span`, :mod:`repro.obs.kstats`,
+        :mod:`repro.obs.flame`) fold counters through the span tree.
+        ``None`` for ops dispatched outside any span and in traces
+        archived before counter attribution existed.
     """
 
     eid: int
@@ -78,6 +86,7 @@ class TraceEvent:
     parents: Tuple[int, ...] = ()
     live_bytes: int = 0
     t_start: float = 0.0
+    sid: Optional[int] = None
 
     @property
     def total_bytes(self) -> int:
@@ -145,6 +154,40 @@ class Trace:
         sub.metadata = dict(self.metadata)
         return sub
 
+    def by_span(self, sid: Optional[int]) -> "Trace":
+        """Sub-trace of the events attributed to span ``sid``.
+
+        Only *direct* attribution counts: an event recorded inside a
+        child span belongs to the child, not to every ancestor.  Pass
+        ``None`` to select events dispatched outside any span
+        (including all events of pre-attribution archives).
+        """
+        sub = Trace(self.workload,
+                    (e for e in self.events if e.sid == sid))
+        sub.metadata = dict(self.metadata)
+        return sub
+
+    def span_rollup(self) -> Dict[Optional[int], Dict[str, float]]:
+        """Per-span aggregate counters, keyed by span id.
+
+        The single attribution path shared by :mod:`repro.obs.kstats`
+        and ad-hoc analyses: for every distinct ``sid`` (including
+        ``None`` for unattributed events) the rollup accumulates
+        ``events``, ``flops``, ``bytes_read``, ``bytes_written``, and
+        ``wall_time`` over the directly attributed events.
+        """
+        out: Dict[Optional[int], Dict[str, float]] = {}
+        for event in self.events:
+            bucket = out.setdefault(event.sid, {
+                "events": 0.0, "flops": 0.0, "bytes_read": 0.0,
+                "bytes_written": 0.0, "wall_time": 0.0})
+            bucket["events"] += 1
+            bucket["flops"] += event.flops
+            bucket["bytes_read"] += event.bytes_read
+            bucket["bytes_written"] += event.bytes_written
+            bucket["wall_time"] += event.wall_time
+        return out
+
     def phases(self) -> List[str]:
         """Distinct phase labels in first-appearance order."""
         seen: List[str] = []
@@ -208,6 +251,9 @@ def merge_traces(traces: Sequence[Trace], workload: str = "") -> Trace:
     """Concatenate ``traces`` into one, renumbering event ids.
 
     Parent links are remapped so the dependency DAG stays consistent.
+    Span attribution (``sid``) is dropped: span ids are only unique
+    within one collected run, so a merged trace cannot attribute
+    events across its sources' separate span trees.
     """
     merged = Trace(workload)
     offset = 0

@@ -15,7 +15,12 @@ from repro.core.profiler import Trace, TraceEvent
 from repro.core.taxonomy import OpCategory
 
 #: bump when the on-disk layout changes
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions :func:`trace_from_dict` can still load.  Version 1 archives
+#: predate per-span counter attribution; their events load with
+#: ``sid=None``.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def safe_json_value(value):
@@ -45,6 +50,7 @@ def event_to_dict(e: TraceEvent) -> Dict:
         "parents": list(e.parents),
         "live_bytes": e.live_bytes,
         "t_start": e.t_start,
+        "sid": e.sid,
     }
 
 
@@ -67,6 +73,7 @@ def event_from_dict(raw: Dict) -> TraceEvent:
         parents=tuple(raw.get("parents", [])),
         live_bytes=int(raw.get("live_bytes", 0)),
         t_start=float(raw.get("t_start", 0.0)),
+        sid=(None if raw.get("sid") is None else int(raw["sid"])),
     )
 
 
@@ -84,9 +91,10 @@ def trace_to_dict(trace: Trace) -> Dict:
 def trace_from_dict(payload: Dict) -> Trace:
     """Inverse of :func:`trace_to_dict`."""
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported trace format version: {version!r}")
+            f"unsupported trace format version: {version!r} "
+            f"(supported: {SUPPORTED_VERSIONS})")
     trace = Trace(payload.get("workload", ""))
     trace.metadata = dict(payload.get("metadata", {}))
     for raw in payload["events"]:

@@ -8,7 +8,9 @@ counters can silently go wrong:
   ``repro.tensor.dispatch``; its FLOPs/bytes never reach the trace.
 * **RL002** — op names recorded by ``run_op`` must agree with the
   public :data:`repro.core.taxonomy.OP_CATEGORIES` registry (both
-  directions), or Fig. 3a's six-way category split misclassifies work.
+  directions), or Fig. 3a's six-way category split misclassifies work;
+  category-keyed model tables (``obs/kstats.CATEGORY_MIX``) must key
+  exactly the ``OpCategory`` values for the same reason.
 * **RL003** — a registered workload whose ``run()`` never enters both
   ``phase("neural")`` and ``phase("symbolic")`` produces traces the
   Fig. 2a neural/symbolic split cannot attribute.
@@ -110,6 +112,13 @@ def _static_op_name(arg: ast.expr) -> Optional[Tuple[str, bool]]:
     return None
 
 
+#: module-level dict literals keyed by ``OpCategory.value`` strings.
+#: RL002 validates their keys against the taxonomy in both directions:
+#: an unknown key silently drops events from the counter synthesis and
+#: a missing category folds its events through the wrong mix.
+_CATEGORY_TABLE_NAMES: Tuple[str, ...] = ("CATEGORY_MIX",)
+
+
 @register_check
 class TaxonomyCoverage(LintCheck):
     check_id = "RL002"
@@ -138,6 +147,8 @@ class TaxonomyCoverage(LintCheck):
                                           if isinstance(node, ast.Assign)
                                           else [node.target]))):
                     state["anchor"] = (module.relpath, node.lineno)
+
+        self._check_category_tables(module, ctx)
 
         category_aliases = self._category_aliases(module.tree)
         forwarders = self._forwarders(module.tree)
@@ -181,6 +192,55 @@ class TaxonomyCoverage(LintCheck):
                     f"OP_CATEGORIES maps it to "
                     f"OpCategory.{registry_category.name}; deduplicate "
                     f"the drift (the registry is authoritative)")
+
+    def _check_category_tables(self, module, ctx) -> None:
+        """Category-keyed tables stay in lockstep with the taxonomy.
+
+        A table in :data:`_CATEGORY_TABLE_NAMES`
+        (``obs/kstats.CATEGORY_MIX`` today) must key exactly the
+        ``OpCategory`` *value* strings: an unknown key is dead weight
+        that masks a typo and a missing category makes the counter
+        synthesis ``KeyError`` on the first event of that category.
+        """
+        from repro.core.taxonomy import OpCategory
+        valid = {category.value for category in OpCategory}
+        for node in module.tree.body:
+            if isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+                value = node.value
+            else:
+                continue
+            if not any(isinstance(t, ast.Name)
+                       and t.id in _CATEGORY_TABLE_NAMES
+                       for t in targets):
+                continue
+            if not isinstance(value, ast.Dict):
+                continue
+            table = next(t.id for t in targets
+                         if isinstance(t, ast.Name))
+            keys: Set[str] = set()
+            for key in value.keys:
+                if not (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)):
+                    continue  # computed keys are not statically checkable
+                keys.add(key.value)
+                if key.value not in valid:
+                    ctx.report(
+                        self, module.relpath, key.lineno,
+                        key.col_offset,
+                        f"{table} key {key.value!r} is not an "
+                        f"OpCategory value; events can never resolve "
+                        f"to it through repro.core.taxonomy — fix the "
+                        f"typo or drop the entry")
+            for missing in sorted(valid - keys):
+                ctx.report(
+                    self, module.relpath, node.lineno, node.col_offset,
+                    f"{table} has no entry for OpCategory value "
+                    f"{missing!r}; the per-category counter synthesis "
+                    f"would KeyError on the first {missing} event")
 
     def _forwarders(self, tree: ast.Module) -> Dict[str, Tuple[int, Optional[str]]]:
         """Module-local helpers that forward a name parameter to run_op.

@@ -12,23 +12,35 @@ Three altitudes of visibility over the characterization suite:
   :class:`~repro.obs.runrec.RunRecord` per run into ``runs.jsonl``,
   and :mod:`repro.obs.compare` diffs records to gate regressions.
 
-Exporters (:mod:`repro.obs.chrome`, :mod:`repro.obs.jsonl`) serialize
-traces + spans to Chrome Trace Event JSON and a re-importable JSONL
-event log.  All collection is off by default and adds <5% overhead
-when enabled (``benchmarks/bench_obs_overhead.py``).
+Exporters (:mod:`repro.obs.chrome`, :mod:`repro.obs.jsonl`,
+:mod:`repro.obs.flame`) serialize traces + spans to Chrome Trace Event
+JSON, a re-importable JSONL event log, and collapsed-stack flamegraph
+input.  Every op event carries the span id (``sid``) of its enclosing
+span, so :mod:`repro.obs.kstats` can synthesize Nsight-style kernel
+counters per span / per category and :mod:`repro.obs.report` can fold
+everything into one self-contained HTML run report.  All collection is
+off by default and adds <5% overhead when enabled
+(``benchmarks/bench_obs_overhead.py``).
 """
 
 from repro.obs.chrome import (CATEGORY_COLORS, export_chrome,
                               trace_to_chrome, trace_to_chrome_events)
 from repro.obs.compare import (DEFAULT_THRESHOLDS, ComparisonReport,
                                MetricDelta, compare_records)
+from repro.obs.flame import (FLAME_WEIGHTS, collapsed_stacks,
+                             trace_to_flame, write_flame)
 from repro.obs.jsonl import (read_jsonl, trace_from_jsonl_lines,
                              trace_to_jsonl, write_jsonl)
+from repro.obs.kstats import (CATEGORY_MIX, KernelStats,
+                              archetype_kstats, kstats_by_category,
+                              kstats_by_span, render_kstats,
+                              synthesize_kstats)
 from repro.obs.metrics import (Counter, Gauge, Histogram,
                                MetricsRegistry, RuntimeMetrics,
                                active_runtime, disable, enable,
                                scoped_runtime)
 from repro.obs.prom import render_registry, render_runtime
+from repro.obs.report import render_report, write_report
 from repro.obs.runrec import (RunRecord, append_record, counters_digest,
                               load_record, load_records,
                               record_from_trace, save_record)
@@ -37,15 +49,18 @@ from repro.obs.spans import (SpanCollector, SpanRecord, children_of,
                              span_roots, tracing_active)
 
 __all__ = [
-    "CATEGORY_COLORS", "ComparisonReport", "Counter",
-    "DEFAULT_THRESHOLDS", "Gauge", "Histogram", "MetricDelta",
-    "MetricsRegistry", "RunRecord", "RuntimeMetrics", "SpanCollector",
-    "SpanRecord", "active_runtime", "append_record", "children_of",
-    "compare_records", "counters_digest", "current_span", "disable",
-    "enable", "export_chrome", "load_record", "load_records", "now",
-    "read_jsonl", "record_from_trace", "render_registry",
+    "CATEGORY_COLORS", "CATEGORY_MIX", "ComparisonReport", "Counter",
+    "DEFAULT_THRESHOLDS", "FLAME_WEIGHTS", "Gauge", "Histogram",
+    "KernelStats", "MetricDelta", "MetricsRegistry", "RunRecord",
+    "RuntimeMetrics", "SpanCollector", "SpanRecord", "active_runtime",
+    "append_record", "archetype_kstats", "children_of",
+    "collapsed_stacks", "compare_records", "counters_digest",
+    "current_span", "disable", "enable", "export_chrome",
+    "kstats_by_category", "kstats_by_span", "load_record",
+    "load_records", "now", "read_jsonl", "record_from_trace",
+    "render_kstats", "render_registry", "render_report",
     "render_runtime", "render_spans", "save_record", "scoped_runtime",
-    "span", "span_roots", "trace_from_jsonl_lines", "trace_to_chrome",
-    "trace_to_chrome_events", "trace_to_jsonl", "tracing_active",
-    "write_jsonl",
+    "span", "span_roots", "synthesize_kstats", "trace_from_jsonl_lines",
+    "trace_to_chrome", "trace_to_chrome_events", "trace_to_flame",
+    "trace_to_jsonl", "tracing_active", "write_flame", "write_report",
 ]

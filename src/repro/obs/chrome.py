@@ -73,6 +73,7 @@ def trace_to_chrome_events(trace: Trace) -> List[dict]:
             "cname": CATEGORY_COLORS[event.category],
             "args": {
                 "eid": event.eid,
+                "sid": event.sid,
                 "stage": event.stage,
                 "flops": event.flops,
                 "bytes": event.total_bytes,

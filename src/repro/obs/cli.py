@@ -4,14 +4,19 @@ Wired into the main ``repro`` parser by :func:`add_obs_subcommands`:
 
     python -m repro trace export nvsa --format chrome -o nvsa.json
     python -m repro trace export nvsa --format jsonl -o nvsa.jsonl
+    python -m repro trace export nvsa --format flame --weight flops
     python -m repro metrics nvsa --format prom
     python -m repro record nvsa --db runs.jsonl
     python -m repro compare runs.jsonl --last 2
     python -m repro compare baseline.json candidate.json --warn-only
+    python -m repro report nvsa --device rtx2080ti -o report.html
 
 ``compare`` exits 0 when the candidate is within thresholds and 4 on
 a regression (``--warn-only`` reports but always exits 0), so CI can
-gate on drift between commits.
+gate on drift between commits.  ``report`` writes the self-contained
+HTML run report (span timeline, kernel-stats matrix, roofline SVG);
+``trace export --format flame`` writes collapsed stacks for
+flamegraph.pl / speedscope.
 """
 
 from __future__ import annotations
@@ -23,7 +28,7 @@ from typing import Optional
 #: exit code for a regression detected by ``repro compare``
 EXIT_REGRESSION = 4
 
-OBS_COMMANDS = ("trace", "metrics", "record", "compare")
+OBS_COMMANDS = ("trace", "metrics", "record", "compare", "report")
 
 
 def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
@@ -33,12 +38,20 @@ def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     export = trace_sub.add_parser(
         "export", help="profile a workload and export its timeline")
+    from repro.obs.flame import FLAME_WEIGHTS
     export.add_argument("workload", help="registered workload name")
     export.add_argument("--format", default="chrome",
-                        choices=("chrome", "jsonl"),
+                        choices=("chrome", "jsonl", "flame"),
                         help="output format (default chrome)")
     export.add_argument("-o", "--output", default=None,
                         help="output path (default stdout)")
+    export.add_argument("--weight", default="wall",
+                        choices=FLAME_WEIGHTS,
+                        help="flame stack weight lens (flame format "
+                             "only; default wall)")
+    export.add_argument("--device", default="rtx",
+                        help="device for the 'latency' flame weight "
+                             "(default rtx)")
     export.add_argument("--seed", type=int, default=0)
 
     metrics = sub.add_parser(
@@ -83,6 +96,21 @@ def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
     compare.add_argument("--warn-only", action="store_true",
                          help="report regressions but exit 0")
 
+    report = sub.add_parser(
+        "report",
+        help="profile a workload and write a self-contained HTML "
+             "run report")
+    report.add_argument("workload", help="registered workload name")
+    report.add_argument("--device", default="rtx",
+                        help="device name or alias (default rtx)")
+    report.add_argument("-o", "--output", default=None,
+                        help="HTML output path "
+                             "(default <workload>_report.html)")
+    report.add_argument("--baseline", default=None,
+                        help="run-record JSON to diff against "
+                             "(adds a comparison section)")
+    report.add_argument("--seed", type=int, default=0)
+
 
 def _profile(workload: str, seed: int):
     from repro.workloads import available, create
@@ -93,21 +121,44 @@ def _profile(workload: str, seed: int):
 
 
 def _run_trace(args: argparse.Namespace) -> int:
+    from repro.hwsim.devices import get_device
     from repro.obs.chrome import trace_to_chrome
+    from repro.obs.flame import trace_to_flame
     from repro.obs.jsonl import trace_to_jsonl
     trace = _profile(args.workload, args.seed)
-    payload = (trace_to_chrome(trace) if args.format == "chrome"
-               else trace_to_jsonl(trace))
+    if args.format == "chrome":
+        payload = trace_to_chrome(trace)
+        hint = "open in chrome://tracing or Perfetto"
+    elif args.format == "jsonl":
+        payload = trace_to_jsonl(trace)
+        hint = "re-import with repro.obs.jsonl.read_jsonl"
+    else:
+        payload = trace_to_flame(trace, weight=args.weight,
+                                 device=get_device(args.device))
+        hint = ("collapsed stacks; render with flamegraph.pl or "
+                "load into speedscope")
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(payload)
-        hint = ("open in chrome://tracing or Perfetto"
-                if args.format == "chrome"
-                else "re-import with repro.obs.jsonl.read_jsonl")
         print(f"wrote {args.output} ({len(trace)} events, "
               f"{len(trace.spans)} spans; {hint})")
     else:
         print(payload, end="")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.hwsim.devices import get_device
+    from repro.obs.report import write_report
+    from repro.obs.runrec import load_record
+    device = get_device(args.device)
+    baseline = load_record(args.baseline) if args.baseline else None
+    trace = _profile(args.workload, args.seed)
+    output = args.output or f"{args.workload}_report.html"
+    write_report(trace, output, device=device, baseline=baseline)
+    print(f"wrote {output} ({len(trace)} events, "
+          f"{len(trace.spans)} spans; self-contained HTML — open in "
+          "any browser)")
     return 0
 
 
@@ -188,4 +239,6 @@ def run_obs_command(args: argparse.Namespace) -> Optional[int]:
         return _run_record(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "report":
+        return _run_report(args)
     return None

@@ -34,6 +34,9 @@ DEFAULT_THRESHOLDS: Dict[str, float] = {
     "peak_live_bytes": 0.10,
     "projected_latency_s": 0.05,
     "phase_latency_s": 0.10,  # applied to each phase entry
+    # applied to each per-category synthesized kernel counter; judged
+    # symmetrically — a hit rate *dropping* out of band is drift too
+    "category_kstats": 0.02,
 }
 
 
@@ -120,6 +123,25 @@ def _judge(metric: str, base: float, cand: float,
                        threshold=threshold, status=status)
 
 
+def _judge_symmetric(metric: str, base: float, cand: float,
+                     threshold: float) -> MetricDelta:
+    """Drift band for metrics with no better/worse direction.
+
+    Synthesized kernel counters (utilization and hit-rate percentages)
+    regress when they *move*, in either direction: an L1 hit rate
+    falling out of band is drift even though the value got "lower".
+    """
+    if base == 0.0:
+        status = STATUS_OK if abs(cand) <= threshold \
+            else STATUS_REGRESSED
+    elif abs(cand / base - 1.0) > threshold:
+        status = STATUS_REGRESSED
+    else:
+        status = STATUS_OK
+    return MetricDelta(metric=metric, base=base, cand=cand,
+                       threshold=threshold, status=status)
+
+
 def compare_records(base: RunRecord, cand: RunRecord,
                     thresholds: Optional[Dict[str, float]] = None
                     ) -> ComparisonReport:
@@ -142,6 +164,20 @@ def compare_records(base: RunRecord, cand: RunRecord,
             f"phase_latency_s[{phase}]",
             base.phase_latency_s.get(phase, 0.0),
             cand.phase_latency_s.get(phase, 0.0), phase_limit))
+    # per-category synthesized kernel counters: only diffed when both
+    # records carry them (v1 baselines predate category_kstats)
+    if base.category_kstats and cand.category_kstats:
+        kstats_limit = limits["category_kstats"]
+        for category in sorted(set(base.category_kstats)
+                               | set(cand.category_kstats)):
+            base_counters = base.category_kstats.get(category, {})
+            cand_counters = cand.category_kstats.get(category, {})
+            for counter in sorted(set(base_counters)
+                                  | set(cand_counters)):
+                report.deltas.append(_judge_symmetric(
+                    f"category_kstats[{category}.{counter}]",
+                    base_counters.get(counter, 0.0),
+                    cand_counters.get(counter, 0.0), kstats_limit))
     if base.counters_digest and cand.counters_digest:
         report.digest_match = (base.counters_digest
                                == cand.counters_digest)

@@ -27,7 +27,12 @@ from repro.core.serialize import (event_from_dict, event_to_dict,
 from repro.obs.spans import SpanRecord
 
 #: bump when the line layout changes
-JSONL_VERSION = 1
+JSONL_VERSION = 2
+
+#: versions :func:`trace_from_jsonl_lines` can still load.  Version 1
+#: logs predate per-span counter attribution; their op lines load with
+#: ``sid=None`` (handled by ``event_from_dict``).
+SUPPORTED_JSONL_VERSIONS = (1, 2)
 
 
 def trace_to_jsonl_lines(trace: Trace) -> Iterator[str]:
@@ -73,9 +78,10 @@ def trace_from_jsonl_lines(lines: List[str]) -> Trace:
         kind = record.get("type")
         if kind == "meta":
             version = record.get("version")
-            if version != JSONL_VERSION:
+            if version not in SUPPORTED_JSONL_VERSIONS:
                 raise ValueError(
-                    f"unsupported JSONL log version: {version!r}")
+                    f"unsupported JSONL log version: {version!r} "
+                    f"(supported: {SUPPORTED_JSONL_VERSIONS})")
             trace.workload = record.get("workload", "")
             trace.metadata = dict(record.get("metadata", {}))
         elif kind == "op":

@@ -27,8 +27,18 @@ from repro.core.taxonomy import CATEGORY_ORDER
 from repro.hwsim.device import DeviceSpec
 from repro.hwsim.devices import RTX_2080TI
 
-#: bump when the record layout changes
-RECORD_VERSION = 1
+#: bump when the record layout changes.  Version 2 adds
+#: ``category_kstats`` (per-category analytic kernel counters from
+#: :mod:`repro.obs.kstats`); version-1 records load with an empty map.
+RECORD_VERSION = 2
+
+#: the synthesized counters gated by drift checks, as
+#: :class:`repro.hwsim.kernels.KernelCounters` field names
+KSTATS_COUNTER_FIELDS = (
+    "compute_throughput_pct", "alu_utilization_pct",
+    "l1_throughput_pct", "l2_throughput_pct",
+    "l1_hit_rate_pct", "l2_hit_rate_pct",
+    "dram_bw_utilization_pct")
 
 #: default run database filename
 DEFAULT_DB = "runs.jsonl"
@@ -82,6 +92,12 @@ class RunRecord:
     peak_live_bytes: float = 0.0
     projected_latency_s: float = 0.0
     phase_latency_s: Dict[str, float] = field(default_factory=dict)
+    #: per-category analytic kernel counters
+    #: (``category -> counter field -> percent``), synthesized by
+    #: :func:`repro.obs.kstats.kstats_by_category`; deterministic per
+    #: seed, so drift checks can gate on them.  Empty for v1 records.
+    category_kstats: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
     counters_digest: str = ""
     version: int = RECORD_VERSION
 
@@ -102,6 +118,8 @@ class RunRecord:
             "peak_live_bytes": self.peak_live_bytes,
             "projected_latency_s": self.projected_latency_s,
             "phase_latency_s": dict(self.phase_latency_s),
+            "category_kstats": {cat: dict(counters) for cat, counters
+                                in self.category_kstats.items()},
             "counters_digest": self.counters_digest,
         }
 
@@ -123,6 +141,11 @@ class RunRecord:
                 raw.get("projected_latency_s", 0.0)),  # type: ignore[arg-type]
             phase_latency_s={str(k): float(v) for k, v in
                              dict(raw.get("phase_latency_s", {})).items()},  # type: ignore[arg-type]
+            category_kstats={
+                str(cat): {str(k): float(v)
+                           for k, v in dict(counters).items()}
+                for cat, counters
+                in dict(raw.get("category_kstats", {})).items()},  # type: ignore[arg-type]
             counters_digest=str(raw.get("counters_digest", "")),
             version=int(raw.get("version", RECORD_VERSION)),  # type: ignore[arg-type]
         )
@@ -137,7 +160,12 @@ def record_from_trace(trace: Trace,
                       sha: Optional[str] = None) -> RunRecord:
     """Build the :class:`RunRecord` for one profiled trace."""
     from repro.core.analysis import latency_breakdown  # deferred (cycle)
+    from repro.obs.kstats import kstats_by_category  # deferred (cycle)
     breakdown = latency_breakdown(trace, device)
+    category_kstats = {
+        stats.label: {name: float(getattr(stats.counters, name))
+                      for name in KSTATS_COUNTER_FIELDS}
+        for stats in kstats_by_category(trace, device)}
     metadata = trace.metadata
     seed = metadata.get("seed")
     params = {key: value for key, value in metadata.items()
@@ -159,6 +187,7 @@ def record_from_trace(trace: Trace,
         phase_latency_s={phase or "untagged": float(seconds)
                          for phase, seconds
                          in breakdown.phase_times.items()},
+        category_kstats=category_kstats,
         counters_digest=counters_digest(trace),
     )
 

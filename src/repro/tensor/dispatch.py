@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.profiler import TraceEvent
 from repro.core.taxonomy import OpCategory, category_for
 from repro.obs import metrics as _metrics
+from repro.obs.spans import current_span as _current_span
 from repro.obs.spans import now as _now
 from repro.tensor.context import (InjectedFaultError, ProfileContext,
                                   active_context, active_fault_hook)
@@ -39,6 +40,12 @@ from repro.tensor.tensor import Tensor
 _SPARSITY_MEASURE_LIMIT = 1 << 26
 
 InputLike = Union[Tensor, np.ndarray, float, int, bool]
+
+
+def _current_sid() -> Optional[int]:
+    """Span id of the innermost open span, or ``None`` untraced."""
+    record = _current_span()
+    return record.sid if record is not None else None
 
 
 def _split_inputs(inputs: Sequence[InputLike]) -> Tuple[List[np.ndarray], int,
@@ -227,6 +234,7 @@ def run_op(name: str,
         parents=parents,
         live_bytes=live_bytes,
         t_start=t_start,
+        sid=_current_sid(),
     ))
     if _metrics.ENABLED:
         _metrics.observe_op(category.value, elapsed, float(flops),
@@ -266,6 +274,7 @@ def record_event(name: str,
         output_shape=output_shape, output_sparsity=output_sparsity,
         live_bytes=live_bytes,
         t_start=_now() - wall_time,
+        sid=_current_sid(),
     ))
     if _metrics.ENABLED:
         _metrics.observe_op(category.value, wall_time, float(flops),
@@ -308,6 +317,7 @@ def record_region(name: str,
             bytes_written=bytes_written, wall_time=elapsed,
             parents=parents, live_bytes=live_bytes,
             t_start=t_start,
+            sid=_current_sid(),
         ))
         if _metrics.ENABLED:
             _metrics.observe_op(category.value, elapsed, region_flops,

@@ -134,6 +134,55 @@ class TestRL002TaxonomyCoverage:
             """, relpath="tensor/extra.py")
         assert not by_check(result, "RL002")
 
+    def test_category_table_unknown_key_flagged(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            CATEGORY_MIX = {
+                "convolution": 1,
+                "matmul": 1,
+                "elementwise": 1,
+                "transform": 1,
+                "movement": 1,
+                "other": 1,
+                "tensorized": 1,
+            }
+            """, relpath="obs/extra.py")
+        found = by_check(result, "RL002")
+        assert len(found) == 1
+        assert found[0].line == 8
+        assert "'tensorized'" in found[0].message
+        assert "not an OpCategory value" in found[0].message
+
+    def test_category_table_missing_category_flagged(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            CATEGORY_MIX = {
+                "convolution": 1,
+                "matmul": 1,
+                "elementwise": 1,
+                "transform": 1,
+                "movement": 1,
+            }
+            """, relpath="obs/extra.py")
+        found = by_check(result, "RL002")
+        assert len(found) == 1
+        assert found[0].line == 1
+        assert "'other'" in found[0].message
+        assert "KeyError" in found[0].message
+
+    def test_complete_category_table_is_clean(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            CATEGORY_MIX = {
+                "convolution": 1,
+                "matmul": 1,
+                "elementwise": 1,
+                "transform": 1,
+                "movement": 1,
+                "other": 1,
+            }
+
+            OTHER_TABLE = {"made_up_key": 1}  # not a category table
+            """, relpath="obs/extra.py")
+        assert not by_check(result, "RL002")
+
 
 class TestRL003PhaseCoverage:
     WORKLOAD = """\

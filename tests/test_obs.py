@@ -304,6 +304,38 @@ class TestJsonlExport:
             obs.trace_from_jsonl_lines(
                 ['{"type": "meta", "version": 99}'])
 
+    def test_sid_roundtrip(self, nvsa_trace):
+        rebuilt = obs.trace_from_jsonl_lines(
+            obs.trace_to_jsonl(nvsa_trace).splitlines())
+        assert [e.sid for e in rebuilt.events] \
+            == [e.sid for e in nvsa_trace.events]
+        assert any(e.sid is not None for e in rebuilt.events)
+
+    def test_v1_log_loads_with_sid_none(self):
+        # pre-attribution logs: version 1 meta, op lines without "sid"
+        rebuilt = obs.trace_from_jsonl_lines([
+            '{"type": "meta", "version": 1, "workload": "old"}',
+            '{"type": "op", "eid": 0, "name": "add",'
+            ' "category": "elementwise", "flops": 4.0}',
+        ])
+        assert rebuilt.workload == "old"
+        assert rebuilt.events[0].sid is None
+
+    def test_span_attrs_roundtrip_non_string_values(self):
+        from repro.obs.spans import SpanCollector, span
+        attrs = {"count": 7, "ratio": 0.25,
+                 "nested": {"shape": [3, 4], "ok": True}}
+        with SpanCollector() as collector:
+            with span("typed", **attrs):
+                pass
+        trace = Trace(workload="w")
+        trace.spans = list(collector.spans)
+        rebuilt = obs.trace_from_jsonl_lines(
+            obs.trace_to_jsonl(trace).splitlines())
+        assert rebuilt.spans[0].attrs == attrs
+        assert isinstance(rebuilt.spans[0].attrs["count"], int)
+        assert isinstance(rebuilt.spans[0].attrs["ratio"], float)
+
     def test_deterministic_for_fixed_seed(self):
         from repro.workloads import create
         first = obs.trace_to_jsonl(create("lnn", seed=0).profile())

@@ -120,6 +120,21 @@ class TestTraceSerialization:
             trace_from_dict({"format_version": FORMAT_VERSION + 1,
                              "events": []})
 
+    def test_round_trip_preserves_sid(self, nvsa_trace):
+        restored = trace_from_dict(trace_to_dict(nvsa_trace))
+        assert [e.sid for e in restored] == [e.sid for e in nvsa_trace]
+        assert any(e.sid is not None for e in restored)
+
+    def test_v1_archive_loads_with_sid_none(self):
+        # archives written before per-span attribution carry no "sid"
+        restored = trace_from_dict({
+            "format_version": 1,
+            "workload": "old",
+            "events": [{"eid": 0, "name": "add",
+                        "category": "elementwise"}],
+        })
+        assert restored.events[0].sid is None
+
     def test_non_json_metadata_stringified(self):
         trace = Trace("t")
         trace.metadata["obj"] = object()
