@@ -17,6 +17,8 @@ Usage (``python -m repro ...``):
     python -m repro record nvsa --db runs.jsonl
     python -m repro compare baseline.json candidate.json
     python -m repro report nvsa --device rtx2080ti -o report.html
+    python -m repro serve bench --workers 2 --mix nvsa=3,lnn=1 --duration 10
+    python -m repro serve replay sched.jsonl --device rtx,xeon
 
 Everything routes through the same public API the benchmarks use.
 ``faults`` runs an injection experiment and exits nonzero (2 degraded,
@@ -128,6 +130,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from repro.obs.cli import add_obs_subcommands
     add_obs_subcommands(sub)
+
+    from repro.serve.cli import add_serve_subcommands
+    add_serve_subcommands(sub)
     return parser
 
 
@@ -147,6 +152,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.obs.cli import OBS_COMMANDS, run_obs_command
     if args.command in OBS_COMMANDS:
         result = run_obs_command(args)
+        if result is not None:
+            return result
+
+    if args.command == "serve":
+        from repro.serve.cli import run_serve_command
+        result = run_serve_command(args)
         if result is not None:
             return result
 

@@ -6,7 +6,8 @@ from repro.hwsim.cache import (CacheHierarchy, CacheStats, HierarchyStats,
                                SetAssociativeCache)
 from repro.hwsim.device import CacheSpec, DeviceSpec
 from repro.hwsim.devices import (ALL_DEVICES, JETSON_TX2, RTX_2080TI,
-                                 XAVIER_NX, XEON_4114, get_device)
+                                 XAVIER_NX, XEON_4114, get_device,
+                                 parse_device_list)
 from repro.hwsim.energy import EnergyReport, estimate_energy
 from repro.hwsim.system import (HeterogeneousSystem, SystemCost,
                                 SystemReport, default_placement,
@@ -22,7 +23,7 @@ __all__ = [
     "CacheHierarchy", "CacheStats", "HierarchyStats", "SetAssociativeCache",
     "CacheSpec", "DeviceSpec",
     "ALL_DEVICES", "JETSON_TX2", "RTX_2080TI", "XAVIER_NX", "XEON_4114",
-    "get_device",
+    "get_device", "parse_device_list",
     "KernelCounters", "KernelProfile", "nvsa_table4_kernels",
     "simulate_kernel",
     "EventCost", "ProjectedTrace", "project_event", "project_trace",

@@ -15,7 +15,7 @@ Published figures: peak FP32, memory bandwidth, cache geometry, TDP.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.hwsim.device import (CacheSpec, DeviceSpec,
                                 default_cpu_efficiencies,
@@ -126,3 +126,15 @@ def get_device(name: str) -> DeviceSpec:
     if key in _ALIASES:
         return _BY_NAME[_ALIASES[key]]
     raise KeyError(f"unknown device: {name!r}; known: {sorted(_BY_NAME)}")
+
+
+def parse_device_list(spec: str) -> List[DeviceSpec]:
+    """Comma-separated names/aliases -> devices (``"rtx,xeon"``).
+
+    The serving layer uses this to bind a heterogeneous worker pool:
+    worker *i* binds ``devices[i % len(devices)]``.
+    """
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if not names:
+        raise KeyError(f"no device names in {spec!r}")
+    return [get_device(name) for name in names]

@@ -18,9 +18,11 @@ counters can silently go wrong:
   non-reproducible / non-monotonic; use ``np.random.default_rng`` and
   ``time.perf_counter``.
 * **RL005** — mutating the thread-local profile/fault-hook stacks —
-  or the observability layer's span/collector/metrics-runtime stacks —
-  outside the approved context managers corrupts phase labels, span
-  parent links, and hook pairing for every event that follows.
+  or the observability layer's span/collector/metrics-runtime stacks,
+  or the serving pool's worker-context stack — outside the approved
+  context managers corrupts phase labels, span parent links, and hook
+  pairing for every event that follows; on the serving worker path an
+  unbalanced enter/exit additionally mislabels every later batch.
 """
 
 from __future__ import annotations
@@ -472,18 +474,21 @@ class Determinism(LintCheck):
 
 _PRIVATE_CONTEXT_NAMES: Set[str] = {"_ctx_stack", "_fault_stack",
                                     "_span_stack", "_collector_stack",
-                                    "_runtime_stack"}
+                                    "_runtime_stack", "_worker_stack"}
 #: modules that legitimately own a thread-local stack (exempt)
 _CONTEXT_MODULES: Tuple[str, ...] = ("tensor/context.py",
-                                     "obs/spans.py", "obs/metrics.py")
+                                     "obs/spans.py", "obs/metrics.py",
+                                     "serve/pool.py")
 #: ``from <module ending here> import _private`` is also a violation
 _PRIVATE_IMPORT_SOURCES: Tuple[str, ...] = ("tensor.context",
-                                            "obs.spans", "obs.metrics")
+                                            "obs.spans", "obs.metrics",
+                                            "serve.pool")
 _PHASE_ATTRS: Set[str] = {"current_phase", "current_stage"}
 _HOOK_FUNCS: Set[str] = {"push_fault_hook", "pop_fault_hook",
                          "push_span", "pop_span",
                          "install_collector", "uninstall_collector",
-                         "push_runtime", "pop_runtime"}
+                         "push_runtime", "pop_runtime",
+                         "push_worker", "pop_worker"}
 
 
 class _ContextSafetyVisitor(ast.NodeVisitor):

@@ -37,8 +37,8 @@ from repro.obs.kstats import (CATEGORY_MIX, KernelStats,
                               synthesize_kstats)
 from repro.obs.metrics import (Counter, Gauge, Histogram,
                                MetricsRegistry, RuntimeMetrics,
-                               active_runtime, disable, enable,
-                               scoped_runtime)
+                               active_runtime, bind_runtime, disable,
+                               enable, scoped_runtime)
 from repro.obs.prom import render_registry, render_runtime
 from repro.obs.report import render_report, write_report
 from repro.obs.runrec import (RunRecord, append_record, counters_digest,
@@ -53,7 +53,7 @@ __all__ = [
     "DEFAULT_THRESHOLDS", "FLAME_WEIGHTS", "Gauge", "Histogram",
     "KernelStats", "MetricDelta", "MetricsRegistry", "RunRecord",
     "RuntimeMetrics", "SpanCollector", "SpanRecord", "active_runtime",
-    "append_record", "archetype_kstats", "children_of",
+    "append_record", "archetype_kstats", "bind_runtime", "children_of",
     "collapsed_stacks", "compare_records", "counters_digest",
     "current_span", "disable", "enable", "export_chrome",
     "kstats_by_category", "kstats_by_span", "load_record",

@@ -184,6 +184,51 @@ class Histogram(Metric):
     def count(self, **labels: object) -> int:
         return self._totals.get(self._key(labels), 0)
 
+    def percentile(self, q: float, **labels: object) -> float:
+        """Estimated ``q``-th percentile (``q`` in (0, 100]).
+
+        Linear interpolation inside the bucket the target rank falls
+        into (Prometheus ``histogram_quantile`` semantics).  Returns
+        0.0 for an empty series and ``+inf`` when the rank lands in
+        the overflow region above the last finite bucket.
+        """
+        return self.percentile_key(self._key(labels), q)
+
+    def percentile_key(self, key: LabelKey, q: float) -> float:
+        """Pre-validated percentile (key = label values in order)."""
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile q must be in (0, 100], got {q}")
+        with self._lock:
+            total = self._totals.get(key, 0)
+            counts = list(self._counts.get(key, ()))
+        if total <= 0:
+            return 0.0
+        target = q / 100.0 * total
+        running, prev_bound = 0, 0.0
+        for bound, count in zip(self.buckets, counts):
+            if count and running + count >= target:
+                frac = (target - running) / count
+                return prev_bound + (bound - prev_bound) * frac
+            running += count
+            prev_bound = bound
+        # rank falls above the last finite bucket (overflow region)
+        return float("inf")
+
+    def summary(self, quantiles: Sequence[float] = (50.0, 95.0, 99.0),
+                **labels: object) -> Dict[str, float]:
+        """``{count, sum, mean, p50, p95, p99}`` for one label set."""
+        key = self._key(labels)
+        count = self._totals.get(key, 0)
+        total = self._sums.get(key, 0.0)
+        out: Dict[str, float] = {
+            "count": float(count),
+            "sum": total,
+            "mean": total / count if count else 0.0,
+        }
+        for q in quantiles:
+            out[f"p{q:g}"] = self.percentile_key(key, q)
+        return out
+
     def sum(self, **labels: object) -> float:
         return self._sums.get(self._key(labels), 0.0)
 
@@ -414,9 +459,38 @@ def scoped_runtime(enabled: bool = True) -> Iterator[RuntimeMetrics]:
 
     The CLI and tests use this so one measurement never leaks into
     another (or into the process-default registry).
+
+    Isolation is **thread-local**: a worker thread spawned inside the
+    scope does not inherit the override, so its observations fall
+    through to the process default.  Worker pools (``repro.serve``)
+    must re-install the owning scope's runtime on each worker thread
+    with :func:`bind_runtime`.
     """
     runtime = RuntimeMetrics()
     runtime.enabled = enabled
+    push_runtime(runtime)
+    try:
+        yield runtime
+    finally:
+        pop_runtime(runtime)
+
+
+@contextmanager
+def bind_runtime(runtime: RuntimeMetrics) -> Iterator[RuntimeMetrics]:
+    """Install an *existing* runtime as this thread's override.
+
+    The multi-thread companion of :func:`scoped_runtime`: the runtime
+    override stack is thread-local, so a worker thread created inside
+    a scoped block would otherwise report to the process default and
+    the scope's registry would silently miss every op the worker
+    dispatched.  A pool worker wraps its run loop::
+
+        with metrics.bind_runtime(shared_runtime):
+            ... execute requests ...
+
+    Instrument updates are lock-protected, so any number of workers
+    may bind the same runtime concurrently.
+    """
     push_runtime(runtime)
     try:
         yield runtime

@@ -3,16 +3,20 @@
 Produces the ``text/plain; version=0.0.4`` exposition format a
 Prometheus scraper (or a human) can read: ``# HELP`` / ``# TYPE``
 headers followed by one sample line per label combination, with
-histogram buckets expanded to cumulative ``le`` series plus ``_sum``
-and ``_count``.  Output is fully sorted so snapshots diff cleanly.
+histogram buckets expanded to cumulative ``le`` series plus ``_sum``,
+``_count``, and bucket-estimated p50/p95/p99 ``quantile`` lines.
+Output is fully sorted so snapshots diff cleanly.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.obs.metrics import (Histogram, Metric, MetricsRegistry,
                                RuntimeMetrics)
+
+#: quantiles exported for every histogram label set
+QUANTILES: Tuple[float, ...] = (50.0, 95.0, 99.0)
 
 
 def _escape(value: str) -> str:
@@ -60,6 +64,13 @@ def render_metric(metric: Metric) -> str:
                          f"{_format_value(metric.sum(**labelset))}")
             lines.append(f"{metric.name}_count{_labels(metric, key)} "
                          f"{metric.count(**labelset)}")
+            # summary-style quantile lines estimated from the buckets,
+            # so dashboards get p50/p95/p99 without PromQL
+            for q in QUANTILES:
+                quantile = 'quantile="%s"' % _format_value(q / 100.0)
+                lines.append(
+                    f"{metric.name}{_labels(metric, key, quantile)} "
+                    f"{_format_value(metric.percentile_key(key, q))}")
     else:
         for key, value in metric.samples():
             lines.append(f"{metric.name}{_labels(metric, key)} "

@@ -81,6 +81,19 @@ class SpanRecord:
 
 _state = threading.local()
 
+# Span ids are allocated from one process-wide counter.  A per-thread
+# counter (the original design) hands sid 0 to the first span of
+# *every* thread, so a runner span on the main thread and a profile
+# span on a worker thread collide — and once serving worker pools run
+# workloads concurrently, per-op sid attribution becomes ambiguous.
+# The global counter keeps sids unique across threads while staying
+# deterministic for sequential runs: it resets to zero when the last
+# collector leaves and no span is open anywhere in the process.
+_sid_lock = threading.Lock()
+_sid_counter = 0
+_open_spans = 0
+_active_collectors = 0
+
 
 def _span_stack() -> List[SpanRecord]:
     if not hasattr(_state, "spans"):
@@ -92,6 +105,21 @@ def _collector_stack() -> List[List[SpanRecord]]:
     if not hasattr(_state, "collectors"):
         _state.collectors = []
     return _state.collectors
+
+
+def _adjust_counts(open_delta: int = 0, collector_delta: int = 0) -> None:
+    """Track process-wide open spans / installed collectors.
+
+    When both reach zero the sid counter resets, so successive
+    independent runs number their spans identically (deterministic
+    exported timelines) while overlapping runs never share a sid.
+    """
+    global _sid_counter, _open_spans, _active_collectors
+    with _sid_lock:
+        _open_spans = max(0, _open_spans + open_delta)
+        _active_collectors = max(0, _active_collectors + collector_delta)
+        if _open_spans == 0 and _active_collectors == 0:
+            _sid_counter = 0
 
 
 def tracing_active() -> bool:
@@ -106,9 +134,11 @@ def current_span() -> Optional[SpanRecord]:
 
 
 def _next_sid() -> int:
-    sid = getattr(_state, "next_sid", 0)
-    _state.next_sid = sid + 1
-    return sid
+    global _sid_counter
+    with _sid_lock:
+        sid = _sid_counter
+        _sid_counter += 1
+        return sid
 
 
 def push_span(name: str,
@@ -119,6 +149,7 @@ def push_span(name: str,
     record = SpanRecord(sid=_next_sid(), parent=parent, name=name,
                         start=now(), attrs=dict(attrs or {}))
     stack.append(record)
+    _adjust_counts(open_delta=+1)
     return record
 
 
@@ -133,26 +164,29 @@ def pop_span(record: SpanRecord) -> None:
     # (runner-level) collector also sees workload-internal spans
     for sink in _collector_stack():
         sink.append(record)
+    _adjust_counts(open_delta=-1)
 
 
 def install_collector(sink: List[SpanRecord]) -> None:
     """Install ``sink`` to receive every span finished on this thread."""
     _collector_stack().append(sink)
+    _adjust_counts(collector_delta=+1)
 
 
 def uninstall_collector(sink: List[SpanRecord]) -> None:
     """Remove ``sink``; it must be the innermost installed collector.
 
-    When the last collector leaves and no span is open, the span-id
-    counter resets so successive independent runs number their spans
-    identically — exported timelines stay deterministic per seed.
+    When the last collector leaves and no span is open anywhere in the
+    process, the (process-global) span-id counter resets so successive
+    independent runs number their spans identically — exported
+    timelines stay deterministic per seed — while concurrent runs on
+    worker threads keep allocating unique sids.
     """
     stack = _collector_stack()
     if not stack or stack[-1] is not sink:  # pragma: no cover - misuse
         raise RuntimeError("span collectors exited out of order")
     stack.pop()
-    if not stack and not _span_stack():
-        _state.next_sid = 0
+    _adjust_counts(collector_delta=-1)
 
 
 class SpanCollector:

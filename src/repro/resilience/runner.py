@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -260,14 +261,18 @@ class ResilientRunner:
         self.sleep = sleep
         self.clock = clock
         self._breakers: Dict[str, CircuitBreaker] = {}
+        # the serving worker pool shares one runner across threads;
+        # lazy breaker creation must not race
+        self._breakers_lock = threading.Lock()
 
     def breaker(self, name: str) -> CircuitBreaker:
         """The (lazily created) circuit breaker for ``name``."""
-        if name not in self._breakers:
-            self._breakers[name] = CircuitBreaker(
-                failure_threshold=self.breaker_threshold,
-                cooldown=self.breaker_cooldown, clock=self.clock)
-        return self._breakers[name]
+        with self._breakers_lock:
+            if name not in self._breakers:
+                self._breakers[name] = CircuitBreaker(
+                    failure_threshold=self.breaker_threshold,
+                    cooldown=self.breaker_cooldown, clock=self.clock)
+            return self._breakers[name]
 
     # -- single workload -----------------------------------------------------
     def run_workload(self, name: str, seed: int = 0,

@@ -1,0 +1,56 @@
+"""Batched, concurrent inference serving over the workload roster.
+
+The characterization suite's workloads, profiled one at a time, tell
+you what a neuro-symbolic pipeline costs; :mod:`repro.serve` tells
+you what happens when a *service* runs them under concurrent load —
+the deployment regime the source paper's cognitive-system framing
+points at.  The pipeline:
+
+``Request`` → :class:`~repro.serve.queue.RequestQueue` (bounded,
+admission-controlled, classified rejections) →
+:mod:`~repro.serve.batcher` (dynamic batching: coalesce same-key
+requests, execute once) → :class:`~repro.serve.pool.WorkerPool`
+(threads, per-worker :class:`~repro.hwsim.device.DeviceSpec` binding
+and :class:`~repro.resilience.runner.ResilientRunner`) →
+:class:`~repro.serve.stats.ServerStats` (p50/p95/p99, queue wait vs
+service, throughput, shed load, SLO misses).
+
+Symbolic setup is amortized by the
+:class:`~repro.serve.cache.ArtifactCache` (keyed LRU of built
+workloads, deep-copied per execution).  Statistics are split into a
+``deterministic`` section — reproducible bit-for-bit for a seeded
+schedule, via virtual-time planning + modeled device latencies — and
+a ``measured`` section for wall-clock figures.  CLI:
+``repro serve bench`` / ``repro serve replay``.
+"""
+
+from repro.serve.batcher import (Batch, BatchPolicy, LiveBatcher,
+                                 plan_batches)
+from repro.serve.cache import ArtifactCache, ArtifactKey
+from repro.serve.loadgen import (ClosedLoopReport, LoadSpec, load_schedule,
+                                 open_loop, parse_mix, run_closed_loop,
+                                 save_schedule)
+from repro.serve.pool import (BatchResult, Worker, WorkerPool, bind_worker,
+                              current_worker)
+from repro.serve.queue import (AdmissionPolicy, REJECT_QUEUE_FULL,
+                               REJECT_REASONS, REJECT_SHUTDOWN,
+                               REJECT_STALE_DEADLINE, RequestQueue)
+from repro.serve.request import (REQUEST_STATUSES, STATUS_REJECTED,
+                                 BatchKey, Request, Response,
+                                 freeze_params, make_request, rejection)
+from repro.serve.server import (InferenceServer, PendingResponse,
+                                ServeConfig, ServeReport)
+from repro.serve.stats import SERVE_LATENCY_BUCKETS, ServerStats
+
+__all__ = [
+    "AdmissionPolicy", "ArtifactCache", "ArtifactKey", "Batch",
+    "BatchKey", "BatchPolicy", "BatchResult", "ClosedLoopReport",
+    "InferenceServer", "LiveBatcher", "LoadSpec", "PendingResponse",
+    "REJECT_QUEUE_FULL", "REJECT_REASONS", "REJECT_SHUTDOWN",
+    "REJECT_STALE_DEADLINE", "REQUEST_STATUSES", "Request",
+    "RequestQueue", "Response", "SERVE_LATENCY_BUCKETS", "STATUS_REJECTED",
+    "ServeConfig", "ServeReport", "ServerStats", "Worker", "WorkerPool",
+    "bind_worker", "current_worker", "freeze_params", "load_schedule",
+    "make_request", "open_loop", "parse_mix", "plan_batches", "rejection",
+    "run_closed_loop", "save_schedule",
+]

@@ -1,0 +1,246 @@
+"""Dynamic batching: coalesce compatible requests, execute once.
+
+The core serving optimization this repo's own characterization
+motivates: symbolic setup (codebooks, knowledge bases, datasets) and
+whole-pipeline execution dominate per-request cost, so requests with
+an identical batch key (workload + config + seed) are coalesced and
+the pipeline executes **once per batch**, amortizing both setup (via
+:mod:`repro.serve.cache`) and inference across every rider.
+
+A batch closes when it reaches ``max_batch_size`` or when
+``max_wait`` seconds have passed since it opened — the classic
+latency/throughput dial.
+
+Two consumption modes share the policy:
+
+* :func:`plan_batches` — a **deterministic virtual-time simulation**
+  over a timestamped arrival schedule.  Admission (queue-depth
+  load-shedding) and batch composition depend only on the schedule,
+  never on thread scheduling, so a seeded benchmark produces
+  bit-identical batch plans across runs (the property
+  ``repro serve bench`` asserts);
+* :class:`LiveBatcher` — a wall-clock loop over a
+  :class:`~repro.serve.queue.RequestQueue` for real-time serving
+  (``repro serve replay --realtime`` and closed-loop load), with
+  timeout-bounded waits so shutdown can never deadlock it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.queue import (AdmissionPolicy, REJECT_QUEUE_FULL,
+                               REJECT_STALE_DEADLINE, RequestQueue)
+from repro.serve.request import BatchKey, Request
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When an open batch must close."""
+
+    max_batch_size: int = 16
+    max_wait: float = 0.05   # seconds a batch may linger open
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+
+
+@dataclass
+class Batch:
+    """A closed group of key-compatible requests, executed once."""
+
+    bid: int
+    key: BatchKey
+    requests: List[Request] = field(default_factory=list)
+    open_time: float = 0.0
+    close_time: float = 0.0
+
+    @property
+    def workload(self) -> str:
+        return self.key[0]
+
+    @property
+    def seed(self) -> int:
+        return self.key[1]
+
+    @property
+    def params(self) -> Dict[str, object]:
+        return dict(self.key[2])
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    def queue_wait(self, request: Request) -> float:
+        """Virtual time ``request`` spent queued in this batch."""
+        return max(0.0, self.close_time - request.arrival)
+
+
+class _OpenGroup:
+    """One still-open batch-in-formation (planner internal)."""
+
+    __slots__ = ("gid", "open_time", "close_at", "requests")
+
+    def __init__(self, gid: int, open_time: float, close_at: float):
+        self.gid = gid
+        self.open_time = open_time
+        self.close_at = close_at
+        self.requests: List[Request] = []
+
+
+def plan_batches(
+    schedule: Sequence[Request],
+    policy: Optional[BatchPolicy] = None,
+    admission: Optional[AdmissionPolicy] = None,
+) -> Tuple[List[Batch], List[Tuple[Request, str]]]:
+    """Deterministically batch a timestamped arrival schedule.
+
+    Simulates the queue/batcher in virtual time: requests are
+    processed in ``(arrival, rid)`` order; a request joins the open
+    group for its key (opening one if needed, planned to close
+    ``max_wait`` after it opened) and a group closes early the moment
+    it fills.  When ``admission`` is given, queue depth is tracked —
+    requests occupy the queue from arrival until their batch closes —
+    and arrivals beyond ``max_depth`` are shed with classified
+    reasons, exactly mirroring :class:`RequestQueue` semantics.
+
+    Returns ``(batches, rejections)``; batches carry close-order bids.
+    The output depends only on the schedule and policies, making batch
+    composition reproducible for seeded load (the ``repro serve
+    bench`` determinism guarantee).
+    """
+    policy = policy or BatchPolicy()
+    arrivals = sorted(schedule, key=lambda r: (r.arrival, r.rid))
+    open_groups: Dict[BatchKey, _OpenGroup] = {}
+    close_heap: List[Tuple[float, int, BatchKey]] = []
+    batches: List[Batch] = []
+    rejections: List[Tuple[Request, str]] = []
+    depth = 0
+    next_gid = 0
+
+    def close_group(key: BatchKey, at: float) -> None:
+        nonlocal depth
+        group = open_groups.pop(key)
+        depth -= len(group.requests)
+        batches.append(Batch(bid=len(batches), key=key,
+                             requests=group.requests,
+                             open_time=group.open_time, close_time=at))
+
+    def fire_due_closes(until: float) -> None:
+        while close_heap and close_heap[0][0] <= until:
+            at, gid, key = heapq.heappop(close_heap)
+            group = open_groups.get(key)
+            if group is not None and group.gid == gid:
+                close_group(key, at)
+
+    for request in arrivals:
+        fire_due_closes(request.arrival)
+        if admission is not None:
+            if (admission.reject_stale and request.deadline is not None
+                    and request.deadline <= 0):
+                rejections.append((request, REJECT_STALE_DEADLINE))
+                continue
+            if depth >= admission.max_depth:
+                rejections.append((request, REJECT_QUEUE_FULL))
+                continue
+        depth += 1
+        group = open_groups.get(request.key)
+        if group is None:
+            group = _OpenGroup(next_gid, request.arrival,
+                               request.arrival + policy.max_wait)
+            next_gid += 1
+            open_groups[request.key] = group
+            heapq.heappush(close_heap,
+                           (group.close_at, group.gid, request.key))
+        group.requests.append(request)
+        if len(group.requests) >= policy.max_batch_size:
+            close_group(request.key, request.arrival)
+
+    fire_due_closes(float("inf"))
+    assert not open_groups and depth == 0
+    return batches, rejections
+
+
+class LiveBatcher:
+    """Wall-clock batching thread over a :class:`RequestQueue`.
+
+    Pulls admitted requests, forms per-key groups under the same
+    close rules as :func:`plan_batches` (size cap or ``max_wait`` on
+    the service clock), and hands each closed :class:`Batch` to
+    ``emit``.  Every wait is timeout-bounded and the loop exits once
+    the queue is closed and fully drained, so shutdown is
+    deadlock-free.
+    """
+
+    def __init__(self, queue: RequestQueue, policy: BatchPolicy,
+                 emit: Callable[[Batch], None],
+                 clock: Callable[[], float]):
+        self._queue = queue
+        self._policy = policy
+        self._emit = emit
+        self._clock = clock
+        self._groups: Dict[BatchKey, _OpenGroup] = {}
+        self._next_gid = 0
+        self._emitted = 0
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self.run,
+                                        name="serve-batcher", daemon=True)
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def emitted(self) -> int:
+        with self._lock:
+            return self._emitted
+
+    # -- core loop -----------------------------------------------------------
+    def _close(self, key: BatchKey, at: float) -> None:
+        group = self._groups.pop(key)
+        with self._lock:
+            bid = self._emitted
+            self._emitted += 1
+        self._emit(Batch(bid=bid, key=key, requests=group.requests,
+                         open_time=group.open_time, close_time=at))
+
+    def _close_expired(self, now: float) -> None:
+        for key in [k for k, g in self._groups.items()
+                    if g.close_at <= now]:
+            self._close(key, now)
+
+    def run(self) -> None:
+        """Consume until the queue is closed and drained (thread body)."""
+        while True:
+            if self._groups:
+                next_close = min(g.close_at for g in self._groups.values())
+                timeout = max(0.0, min(0.05, next_close - self._clock()))
+            else:
+                timeout = 0.05
+            request = self._queue.poll(timeout=timeout)
+            now = self._clock()
+            if request is not None:
+                group = self._groups.get(request.key)
+                if group is None:
+                    group = _OpenGroup(self._next_gid, now,
+                                       now + self._policy.max_wait)
+                    self._next_gid += 1
+                    self._groups[request.key] = group
+                group.requests.append(request)
+                if len(group.requests) >= self._policy.max_batch_size:
+                    self._close(request.key, now)
+            self._close_expired(now)
+            if (request is None and self._queue.closed
+                    and len(self._queue) == 0 and not self._groups):
+                return

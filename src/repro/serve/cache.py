@@ -1,0 +1,133 @@
+"""Keyed LRU cache of built workload artifacts.
+
+Building a roster workload is dominated by symbolic setup — VSA
+codebooks, knowledge bases, rendered datasets — which the profile
+itself then reuses.  In a serving context that setup cost would be
+paid per request; the cache pays it **once per batch key** and
+amortizes it across every request (and every batch) that shares the
+key.
+
+Correctness requires one subtlety: several workloads mutate state
+while profiling (the LNN tightens knowledge-base bounds across
+passes), so executing a cached instance twice is *not* deterministic.
+:meth:`ArtifactCache.checkout` therefore keeps the built instance
+pristine and hands out a :func:`copy.deepcopy` per execution —
+deep-copying a built workload is 5-10x cheaper than rebuilding it,
+and every checkout starts from identical state, which is what makes
+repeated ``repro serve bench`` runs bit-identical.
+
+Hit/miss/eviction accounting is deterministic under concurrency: a
+per-key build gate ensures exactly one thread builds on a cold key
+(counted as the sole miss) while racers block and count hits.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of a cached build: workload + seed + frozen params."""
+
+    workload: str
+    seed: int
+    params: Tuple[Tuple[str, object], ...] = ()
+
+
+class ArtifactCache:
+    """Thread-safe LRU of pristine built :class:`Workload` instances."""
+
+    def __init__(self, capacity: int = 32,
+                 builder: Optional[Callable[..., object]] = None):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if builder is None:
+            from repro.workloads import create as builder  # deferred (cycle)
+        self.capacity = capacity
+        self._builder = builder
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[ArtifactKey, object]" = OrderedDict()
+        self._gates: Dict[ArtifactKey, threading.Lock] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core ----------------------------------------------------------------
+    def checkout(self, key: ArtifactKey) -> object:
+        """A fresh deep copy of the built workload for ``key``.
+
+        Cold keys are built under a per-key gate: exactly one thread
+        builds (the one miss); concurrent checkouts of the same key
+        block on the gate and then count as hits.  The cached master
+        instance is never executed, only copied.
+        """
+        with self._lock:
+            master = self._entries.get(key)
+            if master is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                gate = self._gates.get(key)
+                if gate is None:
+                    gate = self._gates[key] = threading.Lock()
+        if master is not None:
+            return copy.deepcopy(master)
+
+        with gate:
+            with self._lock:
+                master = self._entries.get(key)
+                if master is not None:       # a racer built it first
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+            if master is None:
+                built = self._build(key)
+                with self._lock:
+                    self.misses += 1
+                    self._entries[key] = built
+                    self._entries.move_to_end(key)
+                    while len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.evictions += 1
+                    self._gates.pop(key, None)
+                master = built
+        return copy.deepcopy(master)
+
+    def _build(self, key: ArtifactKey) -> object:
+        workload = self._builder(key.workload, seed=key.seed,
+                                 **dict(key.params))
+        build = getattr(workload, "build", None)
+        if callable(build):
+            build()
+        return workload
+
+    # -- integration ---------------------------------------------------------
+    def factory(self) -> Callable[..., object]:
+        """A ``create``-compatible factory backed by this cache.
+
+        Drop-in for :class:`~repro.resilience.runner.ResilientRunner`'s
+        ``factory`` argument: ``make(name, seed=0, **params)`` returns
+        a fresh executable copy, so runner retries with rotated seeds
+        simply miss to a new key.
+        """
+        def make(name: str, seed: int = 0, **params: object) -> object:
+            return self.checkout(ArtifactKey(
+                workload=name, seed=seed,
+                params=tuple(sorted(params.items()))))
+        return make
+
+    # -- accounting ----------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._entries),
+                    "capacity": self.capacity}

@@ -1,0 +1,221 @@
+"""Worker pool: threads executing batches on bound devices.
+
+Each :class:`Worker` owns a :class:`~repro.resilience.runner.
+ResilientRunner` whose factory is the shared
+:class:`~repro.serve.cache.ArtifactCache`, and binds one
+:class:`~repro.hwsim.device.DeviceSpec` — the device is what turns a
+measured batch execution into a *modeled* per-device latency in the
+server's dispatch simulation.  Faults degrade individual batches
+(the runner's contract) instead of killing the worker thread, so the
+pool survives hostile load.
+
+Workers announce themselves on a thread-local context stack
+(:func:`push_worker` / :func:`pop_worker`, normally entered through
+the :func:`bind_worker` context manager) so code running inside a
+batch — fault hooks, metrics, diagnostics — can ask
+:func:`current_worker` where it is.  The enter/exit pair on the
+worker path must stay balanced; ``repro.lint`` rule RL005 enforces
+this for external callers.
+
+:meth:`WorkerPool.execute` is the batch-mode entry (a fixed batch
+plan, results keyed by bid); :meth:`WorkerPool.execute_live` serves
+an ongoing stream from a callback-driven channel for the live server.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue as _stdqueue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.hwsim.device import DeviceSpec
+from repro.obs import metrics as _metrics
+from repro.obs.spans import SpanCollector, SpanRecord
+from repro.obs.spans import span as _span
+from repro.resilience.faults import FaultPlan
+from repro.resilience.runner import (STATUS_FAILED, ResilientRunner,
+                                     RetryPolicy, WorkloadOutcome)
+from repro.serve.batcher import Batch
+from repro.serve.cache import ArtifactCache
+
+_state = threading.local()
+
+
+def _worker_stack() -> List["Worker"]:
+    if not hasattr(_state, "workers"):
+        _state.workers = []
+    return _state.workers
+
+
+def push_worker(worker: "Worker") -> None:
+    """Enter ``worker``'s context on this thread (pair with pop)."""
+    _worker_stack().append(worker)
+
+
+def pop_worker() -> None:
+    """Leave the innermost worker context on this thread."""
+    stack = _worker_stack()
+    if stack:
+        stack.pop()
+
+
+def current_worker() -> Optional["Worker"]:
+    """The worker executing on this thread, if any."""
+    stack = _worker_stack()
+    return stack[-1] if stack else None
+
+
+@contextlib.contextmanager
+def bind_worker(worker: "Worker") -> Iterator["Worker"]:
+    """Scoped worker context; the only sanctioned enter/exit pairing."""
+    push_worker(worker)
+    try:
+        yield worker
+    finally:
+        pop_worker()
+
+
+@dataclass
+class BatchResult:
+    """Outcome of executing one batch once."""
+
+    batch: Batch
+    status: str                      # ok / degraded / failed
+    worker: str = ""
+    device: str = ""
+    attempts: int = 0
+    wall: float = 0.0                # measured execution seconds
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    outcome: Optional[WorkloadOutcome] = None
+    spans: List[SpanRecord] = field(default_factory=list)
+
+    @property
+    def trace(self):
+        if self.outcome is not None and self.outcome.report is not None:
+            return self.outcome.report.trace
+        return None
+
+
+class Worker:
+    """One pool thread: a device binding plus a resilient runner."""
+
+    def __init__(self, index: int, device: DeviceSpec,
+                 cache: ArtifactCache,
+                 timeout: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 fault_plans: Optional[Dict[str, FaultPlan]] = None):
+        self.index = index
+        self.name = f"worker-{index}"
+        self.device = device
+        self.cache = cache
+        self.fault_plans = fault_plans or {}
+        # timeout=None keeps attempts on this thread, which preserves
+        # thread-local metric/span bindings for the whole batch.
+        self.runner = ResilientRunner(
+            timeout=timeout,
+            retry=retry or RetryPolicy(max_retries=1),
+            factory=cache.factory(),
+        )
+        self.batches_executed = 0
+
+    def execute_batch(self, batch: Batch) -> BatchResult:
+        """Run ``batch``'s workload once under full protection.
+
+        Faults and health failures surface as degraded/failed batch
+        status — they never propagate out of this method, so one bad
+        batch cannot take the worker thread down with it.
+        """
+        plan = self.fault_plans.get(batch.workload)
+        collector = SpanCollector()
+        start = time.perf_counter()
+        with bind_worker(self):
+            with collector:
+                with _span("serve:batch", bid=batch.bid,
+                           workload=batch.workload, size=batch.size,
+                           worker=self.name, device=self.device.name):
+                    outcome = self.runner.run_workload(
+                        batch.workload, seed=batch.seed,
+                        fault_plan=plan, **batch.params)
+        wall = time.perf_counter() - start
+        self.batches_executed += 1
+        return BatchResult(
+            batch=batch, status=outcome.status, worker=self.name,
+            device=self.device.name, attempts=outcome.attempts,
+            wall=wall, error=outcome.error,
+            error_type=outcome.error_type, outcome=outcome,
+            spans=collector.spans)
+
+
+class WorkerPool:
+    """Fixed set of worker threads draining a shared batch channel."""
+
+    def __init__(self, workers: Sequence[Worker],
+                 runtime: Optional[_metrics.RuntimeMetrics] = None):
+        if not workers:
+            raise ValueError("worker pool needs at least one worker")
+        self.workers = list(workers)
+        self.runtime = runtime
+
+    def _drain(self, worker: Worker,
+               channel: "_stdqueue.Queue[Optional[Batch]]",
+               sink: Callable[[BatchResult], None]) -> None:
+        # Re-bind the caller's metrics runtime: scoped_runtime state is
+        # thread-local and would not reach this pool thread otherwise.
+        binder = (_metrics.bind_runtime(self.runtime)
+                  if self.runtime is not None else contextlib.nullcontext())
+        with binder:
+            while True:
+                batch = channel.get()
+                if batch is None:
+                    return
+                try:
+                    sink(worker.execute_batch(batch))
+                except Exception as exc:  # belt-and-braces: never die
+                    sink(BatchResult(batch=batch, status=STATUS_FAILED,
+                                     worker=worker.name,
+                                     device=worker.device.name,
+                                     error=str(exc),
+                                     error_type=type(exc).__name__))
+
+    def execute(self, batches: Sequence[Batch]) -> Dict[int, BatchResult]:
+        """Execute a fixed batch plan; returns results keyed by bid."""
+        channel: "_stdqueue.Queue[Optional[Batch]]" = _stdqueue.Queue()
+        results: Dict[int, BatchResult] = {}
+        lock = threading.Lock()
+
+        def sink(result: BatchResult) -> None:
+            with lock:
+                results[result.batch.bid] = result
+
+        threads = [threading.Thread(target=self._drain,
+                                    args=(w, channel, sink),
+                                    name=f"serve-{w.name}", daemon=True)
+                   for w in self.workers]
+        for thread in threads:
+            thread.start()
+        for batch in batches:
+            channel.put(batch)
+        for _ in threads:
+            channel.put(None)       # one sentinel per worker
+        for thread in threads:
+            thread.join()
+        return results
+
+    def execute_live(self, channel: "_stdqueue.Queue[Optional[Batch]]",
+                     sink: Callable[[BatchResult], None]) -> List[threading.Thread]:
+        """Start workers draining ``channel`` until a per-worker sentinel.
+
+        Returns the (already started) threads; the caller owns the
+        sentinels and the join.
+        """
+        threads = [threading.Thread(target=self._drain,
+                                    args=(w, channel, sink),
+                                    name=f"serve-{w.name}", daemon=True)
+                   for w in self.workers]
+        for thread in threads:
+            thread.start()
+        return threads

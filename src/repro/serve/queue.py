@@ -1,0 +1,140 @@
+"""Thread-safe bounded request queue with admission control.
+
+The service's front door.  :meth:`RequestQueue.offer` is the only way
+in and **never blocks**: under pressure the queue sheds load instead
+of wedging producers, returning a classified rejection reason
+(``queue_full`` past the depth bound, ``stale_deadline`` for requests
+whose SLO budget is already spent at admission, ``shutdown`` once the
+queue is closed).  Every rejection is counted per reason — load is
+never dropped silently.
+
+Consumers use :meth:`poll` (timeout-bounded, never an indefinite
+wait), receiving requests in ``(priority, arrival, rid)`` order so
+urgent traffic overtakes bulk traffic under backlog.  ``close()``
+wakes every waiting consumer, which makes shutdown deadlock-free by
+construction: producers get ``shutdown`` rejections, consumers drain
+the remaining backlog and then observe ``closed``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.serve.request import Request
+
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_STALE_DEADLINE = "stale_deadline"
+REJECT_SHUTDOWN = "shutdown"
+
+#: every admission-control rejection class
+REJECT_REASONS = (REJECT_QUEUE_FULL, REJECT_STALE_DEADLINE,
+                  REJECT_SHUTDOWN)
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Load-shedding rules applied at :meth:`RequestQueue.offer`."""
+
+    max_depth: int = 256       #: queued requests beyond this are shed
+    reject_stale: bool = True  #: shed requests with no deadline budget left
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("admission max_depth must be >= 1")
+
+
+class RequestQueue:
+    """Bounded, priority-ordered, thread-safe request queue."""
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None):
+        self.policy = policy or AdmissionPolicy()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._heap: List[tuple] = []
+        self._closed = False
+        self.accepted = 0
+        self.rejected: Dict[str, int] = {}
+        self.peak_depth = 0
+
+    # -- producer side -------------------------------------------------------
+    def offer(self, request: Request) -> Optional[str]:
+        """Admit ``request`` or classify why not.
+
+        Returns ``None`` on admission, else one of
+        :data:`REJECT_REASONS`.  Never blocks.
+        """
+        with self._not_empty:
+            reason = self._admission_reason(request)
+            if reason is not None:
+                self.rejected[reason] = self.rejected.get(reason, 0) + 1
+                return reason
+            heapq.heappush(self._heap, (*request.order_key, request))
+            self.accepted += 1
+            if len(self._heap) > self.peak_depth:
+                self.peak_depth = len(self._heap)
+            self._not_empty.notify()
+            return None
+
+    def _admission_reason(self, request: Request) -> Optional[str]:
+        if self._closed:
+            return REJECT_SHUTDOWN
+        # staleness is the request's own fault — classify it first so
+        # a full queue doesn't mask an already-blown SLO budget
+        if (self.policy.reject_stale and request.deadline is not None
+                and request.deadline <= 0):
+            return REJECT_STALE_DEADLINE
+        if len(self._heap) >= self.policy.max_depth:
+            return REJECT_QUEUE_FULL
+        return None
+
+    # -- consumer side -------------------------------------------------------
+    def poll(self, timeout: Optional[float] = 0.05) -> Optional[Request]:
+        """Next request by priority, or ``None`` on timeout/empty-close.
+
+        Waits at most ``timeout`` seconds (``None`` waits only while
+        the queue is open, re-checking on every close/offer wakeup),
+        so a consumer loop can always interleave housekeeping and
+        never deadlocks on shutdown.
+        """
+        with self._not_empty:
+            if not self._heap and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[-1]
+
+    def drain(self) -> List[Request]:
+        """Remove and return the entire backlog in priority order."""
+        with self._lock:
+            out = [entry[-1] for entry in sorted(self._heap)]
+            self._heap.clear()
+            return out
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Stop admitting; wake every waiting consumer."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    def counts(self) -> Dict[str, object]:
+        """Accounting snapshot: accepted / rejected-by-reason / peak."""
+        with self._lock:
+            return {"accepted": self.accepted,
+                    "rejected": dict(self.rejected),
+                    "peak_depth": self.peak_depth}

@@ -389,6 +389,71 @@ class TestRL005ContextSafety:
         assert not by_check(result, "RL005")
 
 
+class TestServeZoneCoverage:
+    """The serving layer is an instrumented zone (RL001) and its
+    worker-context stack is RL005-protected."""
+
+    def test_raw_numpy_in_serve_zone_flagged(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import numpy as np
+
+            def score_batch(x):
+                return np.matmul(x, x.T)
+            """, relpath="serve/scoring.py")
+        found = by_check(result, "RL001")
+        assert [f.line for f in found] == [4]
+        assert "np.matmul" in found[0].message
+
+    def test_serve_batch_path_routes_through_instrumented_ops(self):
+        """Shipped serve modules contain no raw-numpy bypass: batch
+        execution reaches compute only via workload profiles, which
+        RL001 already guards."""
+        result = run_lint(LintConfig(root=default_scan_root()))
+        assert not [f for f in by_check(result, "RL001")
+                    if "/serve/" in str(f.path) or
+                    str(f.path).startswith("serve")]
+        # the zone is actually active, not silently skipped
+        from repro.lint.engine import DEFAULT_ZONES
+        assert "serve" in DEFAULT_ZONES
+
+    def test_unbalanced_worker_context_flagged(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.serve.pool import push_worker
+
+            def hijack(worker):
+                push_worker(worker)
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [4]
+        assert "push_worker" in found[0].message
+
+    def test_private_worker_stack_access_flagged(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.serve.pool import _worker_stack
+
+            def peek():
+                return _worker_stack()[-1]
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert found and found[0].line == 1
+
+    def test_balanced_context_manager_clean(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from contextlib import contextmanager
+
+            from repro.serve.pool import pop_worker, push_worker
+
+            @contextmanager
+            def bound(worker):
+                push_worker(worker)
+                try:
+                    yield worker
+                finally:
+                    pop_worker()
+            """, relpath="core/wrapper.py")
+        assert not by_check(result, "RL005")
+
+
 class TestSuppression:
     SOURCE = """\
         import numpy as np

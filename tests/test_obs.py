@@ -192,6 +192,127 @@ class TestMetrics:
         json.dumps(runtime.registry.snapshot())
 
 
+class TestHistogramPercentiles:
+    def _loaded(self):
+        hist = obs_metrics.Histogram("h", labelnames=("wl",),
+                                     buckets=tuple(
+                                         0.01 * i for i in range(1, 101)))
+        for i in range(100):
+            hist.observe(0.01 * (i + 1) - 0.005, wl="a")
+        return hist
+
+    def test_interpolated_quantiles(self):
+        hist = self._loaded()
+        assert hist.percentile(50.0, wl="a") == pytest.approx(0.50, abs=0.02)
+        assert hist.percentile(95.0, wl="a") == pytest.approx(0.95, abs=0.02)
+        assert hist.percentile(99.0, wl="a") == pytest.approx(0.99, abs=0.02)
+        assert hist.percentile(100.0, wl="a") <= 1.0
+
+    def test_empty_and_overflow(self):
+        hist = obs_metrics.Histogram("h", buckets=(0.1, 1.0))
+        assert hist.percentile(99.0) == 0.0
+        hist.observe(5.0)  # above every bucket bound
+        assert hist.percentile(99.0) == float("inf")
+
+    def test_quantile_domain_validated(self):
+        hist = obs_metrics.Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_summary_block(self):
+        hist = self._loaded()
+        summary = hist.summary(wl="a")
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(0.5, abs=0.01)
+        assert set(summary) == {"count", "sum", "mean",
+                                "p50", "p95", "p99"}
+
+    def test_prom_exposition_has_quantile_lines(self):
+        from repro.obs.prom import render_registry
+        registry = obs_metrics.MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "x", ("wl",),
+                                  buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.7, 5.0):
+            hist.observe(value, wl="a")
+        text = render_registry(registry)
+        for q in ("0.5", "0.95", "0.99"):
+            assert f'quantile="{q}"' in text
+        assert 'lat_seconds{wl="a",quantile="0.5"}' in text
+
+
+class TestWorkerThreadIsolation:
+    """Concurrent workers must not corrupt span ids or leak metrics."""
+
+    def test_concurrent_span_sids_disjoint(self):
+        import threading
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def work(name):
+            with SpanCollector() as collector:
+                barrier.wait(timeout=5.0)
+                with span(f"outer:{name}"):
+                    with span(f"inner:{name}"):
+                        pass
+            results[name] = {s.sid for s in collector.spans}
+
+        threads = [threading.Thread(target=work, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert len(results["a"]) == 2 and len(results["b"]) == 2
+        assert not results["a"] & results["b"], \
+            "span ids collided across worker threads"
+
+    def test_sid_counter_still_resets_when_idle(self):
+        def sids():
+            with SpanCollector() as collector:
+                with span("x"):
+                    pass
+            return [s.sid for s in collector.spans]
+
+        assert sids() == sids()
+
+    def test_bind_runtime_reaches_worker_threads(self):
+        import threading
+        with obs_metrics.scoped_runtime() as runtime:
+            baseline = runtime.ops_total.total()
+
+            def worker():
+                # scoped_runtime's override stack is thread-local;
+                # bind_runtime re-installs it on this thread
+                with obs_metrics.bind_runtime(runtime):
+                    TestMetrics._profile_toy()
+
+            threads = [threading.Thread(target=worker) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(10.0)
+            assert runtime.ops_total.total() > baseline
+        # nothing leaked into the process-default runtime
+        assert obs_metrics._RUNTIME.ops_total.total() == 0
+
+    def test_unbound_worker_thread_does_not_see_scope(self):
+        import threading
+        try:
+            with obs_metrics.scoped_runtime() as runtime:
+                def worker():
+                    TestMetrics._profile_toy()
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join(10.0)
+                # without bind_runtime the scope never reaches the thread
+                assert runtime.ops_total.total() == 0
+        finally:
+            # the unbound thread reported to the process default instead
+            obs_metrics.reset()
+
+
 # ---------------------------------------------------------------------------
 # exporters — Chrome trace
 # ---------------------------------------------------------------------------
