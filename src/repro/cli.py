@@ -19,6 +19,9 @@ Usage (``python -m repro ...``):
     python -m repro report nvsa --device rtx2080ti -o report.html
     python -m repro serve bench --workers 2 --mix nvsa=3,lnn=1 --duration 10
     python -m repro serve replay sched.jsonl --device rtx,xeon
+    python -m repro fuzz run --seed 0 --count 50 --chaos 3 --corpus crashes.jsonl
+    python -m repro fuzz replay crashes.jsonl
+    python -m repro fuzz rules --harvest lnn,nvsa -o rules.json
 
 Everything routes through the same public API the benchmarks use.
 ``faults`` runs an injection experiment and exits nonzero (2 degraded,
@@ -133,6 +136,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from repro.serve.cli import add_serve_subcommands
     add_serve_subcommands(sub)
+
+    from repro.fuzz.cli import add_fuzz_subcommands
+    add_fuzz_subcommands(sub)
     return parser
 
 
@@ -160,6 +166,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = run_serve_command(args)
         if result is not None:
             return result
+
+    if args.command == "fuzz":
+        from repro.fuzz.cli import run_fuzz_command
+        return run_fuzz_command(args)
 
     if args.command == "analyze-trace":
         from repro.core.report import render_shares

@@ -1,0 +1,85 @@
+"""Replay workloads under an op observer and harvest OpInstances.
+
+The harvester is the "record finder" stage of the Dynofuzz pipeline:
+it executes the real workload roster under the dispatcher's op-observer
+hook (:func:`repro.tensor.context.op_observer`) and turns every
+recorded kernel into an :class:`~repro.fuzz.records.OpInstance` —
+including the dtypes and exact input byte counts that trace events
+intentionally omit.
+
+Harvesting runs the *existing* profiling path unchanged; the observer
+is strictly read-only, so a harvested trace is bit-identical to an
+unharvested one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.taxonomy import canonical_op_name
+from repro.fuzz.records import SCALAR_DTYPE, OpInstance
+from repro.tensor.context import op_observer
+
+#: default roster slice for harvesting: cheap to profile yet together
+#: they exercise every operator family (conv/matmul/elementwise/FFT/
+#: transform/movement/fuzzy/logic)
+DEFAULT_HARVEST = ("lnn", "nvsa")
+
+
+class OpInstanceRecorder:
+    """Op observer that appends one :class:`OpInstance` per kernel."""
+
+    def __init__(self, workload: str = ""):
+        self.workload = workload
+        self.instances: List[OpInstance] = []
+
+    def observe_op(self, event, inputs: Sequence[object],
+                   output: np.ndarray) -> None:
+        dtypes: List[str] = []
+        nbytes = 0
+        for value in inputs:
+            if isinstance(value, np.ndarray):
+                dtypes.append(str(value.dtype))
+                nbytes += value.nbytes
+            else:           # python scalar: 8 bytes by dispatch convention
+                dtypes.append(SCALAR_DTYPE)
+                nbytes += 8
+        self.instances.append(OpInstance(
+            name=canonical_op_name(event.name),
+            raw_name=event.name,
+            category=event.category.value,
+            input_shapes=tuple(tuple(s) for s in event.input_shapes),
+            input_dtypes=tuple(dtypes),
+            input_nbytes=nbytes,
+            output_shape=tuple(event.output_shape),
+            output_dtype=str(output.dtype),
+            flops=float(event.flops),
+            bytes_read=int(event.bytes_read),
+            bytes_written=int(event.bytes_written),
+            output_sparsity=float(event.output_sparsity),
+            workload=self.workload,
+            phase=event.phase,
+        ))
+
+
+def harvest_workload(name: str, seed: int = 0,
+                     **params: object) -> List[OpInstance]:
+    """Profile one workload under the recorder; returns its instances."""
+    from repro.workloads import create
+    workload = create(name, seed=seed, **params)
+    workload.build()
+    recorder = OpInstanceRecorder(workload=name)
+    with op_observer(recorder):
+        workload.profile()
+    return recorder.instances
+
+
+def harvest_roster(names: Optional[Iterable[str]] = None,
+                   seed: int = 0) -> List[OpInstance]:
+    """Harvest several workloads back to back (unfiltered)."""
+    out: List[OpInstance] = []
+    for name in (names if names is not None else DEFAULT_HARVEST):
+        out.extend(harvest_workload(name, seed=seed))
+    return out

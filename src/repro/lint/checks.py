@@ -434,6 +434,16 @@ _LEGACY_RANDOM: Set[str] = {
     "RandomState",
 }
 
+#: stdlib ``random`` module-level functions (the hidden global
+#: ``random.Random`` instance); ``random.Random(seed)`` objects are fine
+_GLOBAL_STDLIB_RANDOM: Set[str] = {
+    "seed", "random", "uniform", "randint", "randrange", "choice",
+    "choices", "shuffle", "sample", "betavariate", "expovariate",
+    "gauss", "normalvariate", "getrandbits", "triangular",
+    "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "getstate", "setstate", "randbytes",
+}
+
 
 @register_check
 class Determinism(LintCheck):
@@ -459,6 +469,15 @@ class Determinism(LintCheck):
                         f"irreproducible across processes; thread a "
                         f"np.random.default_rng(seed) Generator instead")
                     continue
+            stdlib = module.resolve_call("random", node.func)
+            if stdlib is not None and stdlib in _GLOBAL_STDLIB_RANDOM:
+                ctx.report(
+                    self, module.relpath, node.lineno, node.col_offset,
+                    f"module-level random.{stdlib}() draws from the "
+                    f"hidden global RNG; fuzzing and measurement paths "
+                    f"must thread a seeded random.Random or "
+                    f"np.random.default_rng(seed) instead")
+                continue
             clock = module.resolve_call("time", node.func)
             if clock == "time":
                 ctx.report(
@@ -473,6 +492,7 @@ class Determinism(LintCheck):
 # ---------------------------------------------------------------------------
 
 _PRIVATE_CONTEXT_NAMES: Set[str] = {"_ctx_stack", "_fault_stack",
+                                    "_observer_stack",
                                     "_span_stack", "_collector_stack",
                                     "_runtime_stack", "_worker_stack"}
 #: modules that legitimately own a thread-local stack (exempt)
@@ -485,6 +505,7 @@ _PRIVATE_IMPORT_SOURCES: Tuple[str, ...] = ("tensor.context",
                                             "serve.pool")
 _PHASE_ATTRS: Set[str] = {"current_phase", "current_stage"}
 _HOOK_FUNCS: Set[str] = {"push_fault_hook", "pop_fault_hook",
+                         "push_op_observer", "pop_op_observer",
                          "push_span", "pop_span",
                          "install_collector", "uninstall_collector",
                          "push_runtime", "pop_runtime",

@@ -26,7 +26,7 @@ from repro.lint.registry import LintCheck, all_checks
 #: Package sub-trees whose compute must route through ``repro.tensor``
 #: (the instrumented zones of RL001/RL003).
 DEFAULT_ZONES: Tuple[str, ...] = ("workloads", "vsa", "nn", "logic",
-                                  "serve")
+                                  "serve", "fuzz")
 
 #: Check id used for files the engine itself cannot process.
 PARSE_ERROR_ID = "RL000"

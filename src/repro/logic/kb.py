@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.logic.fol import Atom, Constant, Predicate, Variable
+from repro.tensor.errors import TensorOpError
 
 GroundFact = Tuple[str, Tuple[str, ...]]  # (predicate name, constant names)
 
@@ -90,6 +91,24 @@ class KnowledgeBase:
 
     # -- rules -----------------------------------------------------------
     def add_rule(self, rule: HornRule) -> None:
+        """Add a Horn rule; rejects non-range-restricted rules.
+
+        A head variable that never occurs in the body (including the
+        degenerate empty-body rule) would be unbound at derivation
+        time and previously surfaced as a raw ``KeyError`` deep inside
+        :meth:`forward_chain`; refuse it up front with a classified
+        error instead.
+        """
+        body_vars: Set[Variable] = set()
+        for atom in rule.body:
+            body_vars |= {t for t in atom.terms if isinstance(t, Variable)}
+        loose = {t for t in rule.head.terms
+                 if isinstance(t, Variable)} - body_vars
+        if loose:
+            names = ", ".join(sorted(v.name for v in loose))
+            raise TensorOpError(
+                f"rule {rule} is not range-restricted: head variable(s) "
+                f"{names} never bound by the body", op_name="add_rule")
         self.rules.append(rule)
 
     # -- inference ---------------------------------------------------------

@@ -56,6 +56,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.build_errors = 0
 
     # -- core ----------------------------------------------------------------
     def checkout(self, key: ArtifactKey) -> object:
@@ -85,7 +86,17 @@ class ArtifactCache:
                     self._entries.move_to_end(key)
                     self.hits += 1
             if master is None:
-                built = self._build(key)
+                try:
+                    built = self._build(key)
+                except BaseException:
+                    # a failed build must not poison the key: drop the
+                    # gate so the next checkout retries cleanly instead
+                    # of queueing behind a lock that never resolves to
+                    # an entry
+                    with self._lock:
+                        self.build_errors += 1
+                        self._gates.pop(key, None)
+                    raise
                 with self._lock:
                     self.misses += 1
                     self._entries[key] = built
@@ -129,5 +140,6 @@ class ArtifactCache:
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions,
+                    "build_errors": self.build_errors,
                     "size": len(self._entries),
                     "capacity": self.capacity}

@@ -25,6 +25,7 @@ an ongoing stream from a callback-driven channel for the live server.
 from __future__ import annotations
 
 import contextlib
+import copy
 import queue as _stdqueue
 import threading
 import time
@@ -130,6 +131,11 @@ class Worker:
         batch cannot take the worker thread down with it.
         """
         plan = self.fault_plans.get(batch.workload)
+        if plan is not None:
+            # The runner resets the plan before every attempt, so two
+            # workers sharing one plan object would rewind each other's
+            # op counters mid-run; each batch gets a private copy.
+            plan = copy.deepcopy(plan)
         collector = SpanCollector()
         start = time.perf_counter()
         with bind_worker(self):
@@ -182,8 +188,16 @@ class WorkerPool:
                                      error_type=type(exc).__name__))
 
     def execute(self, batches: Sequence[Batch]) -> Dict[int, BatchResult]:
-        """Execute a fixed batch plan; returns results keyed by bid."""
-        channel: "_stdqueue.Queue[Optional[Batch]]" = _stdqueue.Queue()
+        """Execute a fixed batch plan; returns results keyed by bid.
+
+        Batches are partitioned round-robin instead of drained from a
+        shared channel: each worker's batch sequence — and therefore
+        the evolution of its runner's circuit breakers — is a pure
+        function of the plan, keeping schedule-mode outcomes (status,
+        attempts) bit-identical across runs.  Work-stealing would
+        balance skewed batch costs better, but schedule mode trades
+        that for its determinism contract.
+        """
         results: Dict[int, BatchResult] = {}
         lock = threading.Lock()
 
@@ -191,16 +205,22 @@ class WorkerPool:
             with lock:
                 results[result.batch.bid] = result
 
-        threads = [threading.Thread(target=self._drain,
-                                    args=(w, channel, sink),
+        def run_assigned(worker: Worker, assigned: List[Batch]) -> None:
+            channel: "_stdqueue.Queue[Optional[Batch]]" = _stdqueue.Queue()
+            for batch in assigned:
+                channel.put(batch)
+            channel.put(None)
+            self._drain(worker, channel, sink)
+
+        assignments: List[List[Batch]] = [[] for _ in self.workers]
+        for index, batch in enumerate(batches):
+            assignments[index % len(self.workers)].append(batch)
+        threads = [threading.Thread(target=run_assigned,
+                                    args=(w, assigned),
                                     name=f"serve-{w.name}", daemon=True)
-                   for w in self.workers]
+                   for w, assigned in zip(self.workers, assignments)]
         for thread in threads:
             thread.start()
-        for batch in batches:
-            channel.put(batch)
-        for _ in threads:
-            channel.put(None)       # one sentinel per worker
         for thread in threads:
             thread.join()
         return results

@@ -46,7 +46,8 @@ from repro.resilience.runner import (STATUS_DEGRADED, STATUS_OK,
 from repro.serve.batcher import Batch, BatchPolicy, LiveBatcher, plan_batches
 from repro.serve.cache import ArtifactCache
 from repro.serve.pool import BatchResult, Worker, WorkerPool
-from repro.serve.queue import AdmissionPolicy, RequestQueue
+from repro.serve.queue import (REJECT_SHUTDOWN, AdmissionPolicy,
+                               RequestQueue)
 from repro.serve.request import (Request, Response, make_request,
                                  rejection)
 from repro.serve.stats import ServerStats
@@ -365,7 +366,7 @@ class InferenceServer:
             for request in self._queue.drain():
                 with self._pending_lock:
                     pending = self._pending.pop(request.rid, None)
-                response = rejection(request, "shutdown")
+                response = rejection(request, REJECT_SHUTDOWN)
                 self.stats.record_response(response)
                 if pending is not None:
                     pending.resolve(response)
@@ -376,6 +377,17 @@ class InferenceServer:
             self._channel.put(None)
         for thread in self._threads:
             thread.join(timeout=30.0)
+        # every submit() must resolve: anything still pending after the
+        # pipeline drained (e.g. dropped between queue and batcher at
+        # close) is classified as a shutdown rejection, never left as a
+        # silently-unresolved future
+        with self._pending_lock:
+            leftovers = [self._pending[rid] for rid in sorted(self._pending)]
+            self._pending.clear()
+        for pending in leftovers:
+            response = rejection(pending.request, REJECT_SHUTDOWN)
+            self.stats.record_response(response)
+            pending.resolve(response)
         self.stats.record_queue(self._queue.peak_depth)
         self.stats.record_cache(self.cache.stats())
         self.stats.wall_elapsed = self.clock()

@@ -37,6 +37,15 @@ dispatcher once per recorded operation and may answer with an injection
 — poisoned counters, simulated latency, an allocation blowup, or a
 raised :class:`InjectedFaultError`.  The tensor layer only defines the
 protocol; all fault policy lives in :mod:`repro.resilience`.
+
+Op observers: a third thread-local stack holds *op observers* —
+objects with an ``observe_op(event, inputs, output)`` method that the
+dispatcher calls once per recorded tensor op, passing the freshly
+recorded :class:`~repro.core.profiler.TraceEvent` together with the
+raw input values and output array.  Observers see what the trace
+cannot: dtypes and exact input byte counts.  The fuzzing harvester
+(:mod:`repro.fuzz.harvest`) is the canonical observer; install one
+with the :func:`op_observer` context manager.
 """
 
 from __future__ import annotations
@@ -110,6 +119,49 @@ def pop_fault_hook(hook: object) -> None:
         stack.pop()
     else:  # pragma: no cover - misuse guard
         raise RuntimeError("fault hooks exited out of order")
+
+
+def _observer_stack() -> List[object]:
+    if not hasattr(_state, "observer_stack"):
+        _state.observer_stack = []
+    return _state.observer_stack
+
+
+def active_op_observer() -> Optional[object]:
+    """The innermost installed op observer, or ``None``.
+
+    An observer exposes ``observe_op(event, inputs, output)`` where
+    ``event`` is the just-recorded trace event, ``inputs`` the raw
+    values the kernel consumed (numpy arrays or python scalars, in
+    call order) and ``output`` the raw output array.  Observers must
+    not mutate any of the three.
+    """
+    stack = _observer_stack()
+    return stack[-1] if stack else None
+
+
+def push_op_observer(observer: object) -> None:
+    """Install ``observer`` as the active op observer for this thread."""
+    _observer_stack().append(observer)
+
+
+def pop_op_observer(observer: object) -> None:
+    """Remove ``observer``; it must be the innermost installed one."""
+    stack = _observer_stack()
+    if stack and stack[-1] is observer:
+        stack.pop()
+    else:  # pragma: no cover - misuse guard
+        raise RuntimeError("op observers exited out of order")
+
+
+@contextmanager
+def op_observer(observer: object) -> Iterator[object]:
+    """Install an op observer for the dynamic extent of the block."""
+    push_op_observer(observer)
+    try:
+        yield observer
+    finally:
+        pop_op_observer(observer)
 
 
 def _release_all(contexts: List["ProfileContext"], nbytes: int) -> None:

@@ -33,7 +33,8 @@ from repro.obs import metrics as _metrics
 from repro.obs.spans import current_span as _current_span
 from repro.obs.spans import now as _now
 from repro.tensor.context import (InjectedFaultError, ProfileContext,
-                                  active_context, active_fault_hook)
+                                  active_context, active_fault_hook,
+                                  active_op_observer)
 from repro.tensor.tensor import Tensor
 
 #: Arrays larger than this skip sparsity measurement (keeps dispatch cheap).
@@ -218,7 +219,7 @@ def run_op(name: str,
     eid = ctx.next_eid()
     result = Tensor(out_arr, producer=eid)
     live_bytes = ctx.live_bytes + extra_live
-    ctx.record(TraceEvent(
+    event = TraceEvent(
         eid=eid,
         name=name,
         category=category,
@@ -235,7 +236,13 @@ def run_op(name: str,
         live_bytes=live_bytes,
         t_start=t_start,
         sid=_current_sid(),
-    ))
+    )
+    ctx.record(event)
+    observer = active_op_observer()
+    if observer is not None:
+        # observers see dtypes and exact input values, which the trace
+        # event intentionally omits (repro.fuzz.harvest relies on this)
+        observer.observe_op(event, arrays, out_arr)
     if _metrics.ENABLED:
         _metrics.observe_op(category.value, elapsed, float(flops),
                             bytes_read + extra_bytes_read + written,

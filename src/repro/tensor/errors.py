@@ -1,0 +1,35 @@
+"""Classified errors raised by the instrumented tensor runtime.
+
+The fuzzing oracle (:mod:`repro.fuzz`) distinguishes two failure
+worlds when it feeds degenerate inputs (zero-length FFT axes, empty
+codebooks, out-of-range gather indices) into the op layer:
+
+* a :class:`TensorOpError` is a *classified* terminal state — the
+  runtime understood the bad input and refused it with a diagnosable
+  message; generated programs that hit one count as a well-defined
+  stop, not a bug;
+* any other exception escaping an op (a raw numpy ``ValueError`` /
+  ``IndexError`` / ``FloatingPointError``) is an *unclassified* crash
+  and is reported as a robustness divergence.
+
+``TensorOpError`` subclasses ``ValueError`` so pre-existing callers
+that caught the raw numpy errors (and the resilient runner, which
+classifies ``ValueError`` as deterministic) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class TensorOpError(ValueError):
+    """A classified, deterministic operator-domain failure.
+
+    Raised by :mod:`repro.tensor.ops` (and symbolic substrates built
+    on it) when an input is structurally invalid for the op — empty
+    where non-empty is required, indices out of range, incompatible
+    contraction dims — instead of letting numpy surface an opaque
+    backend exception.
+    """
+
+    def __init__(self, message: str, *, op_name: str = ""):
+        super().__init__(message)
+        self.op_name = op_name

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.taxonomy import OpCategory
 from repro.tensor.dispatch import run_op, record_event, record_region
+from repro.tensor.errors import TensorOpError
 from repro.tensor.tensor import Tensor, as_tensor
 
 __all__ = [
@@ -54,6 +55,30 @@ _OT = OpCategory.OTHER
 
 #: FLOP weight of transcendental functions relative to an add/mul.
 _TRANSCENDENTAL_COST = 4.0
+
+
+def _norm_axis(op: str, axis: int, ndim: int) -> int:
+    """Normalize ``axis`` to [0, ndim); classified error when invalid."""
+    if ndim == 0 or not -ndim <= axis < ndim:
+        raise TensorOpError(
+            f"{op}: axis {axis} out of range for a rank-{ndim} input",
+            op_name=op)
+    return axis % ndim
+
+
+def _require_nonempty_reduction(op: str, shape: Tuple[int, ...],
+                                size: int, axis: Optional[int]) -> None:
+    """An identity-free reduction (max/min/argmax) needs elements."""
+    if axis is None:
+        if size == 0:
+            raise TensorOpError(
+                f"{op}: reduction over an empty tensor has no defined "
+                f"value", op_name=op)
+        return
+    norm = _norm_axis(op, axis, len(shape))
+    if shape[norm] == 0:
+        raise TensorOpError(
+            f"{op}: reduction axis {axis} has extent 0", op_name=op)
 
 
 # ---------------------------------------------------------------------------
@@ -94,6 +119,14 @@ def matmul(a: object, b: object) -> Tensor:
     """General (batched) matrix multiplication; 2*m*k*n FLOPs."""
     ta, tb = as_tensor(a), as_tensor(b)
     a_arr, b_arr = ta.data, tb.data
+    if a_arr.ndim == 0 or b_arr.ndim == 0:
+        raise TensorOpError("matmul: inputs must be at least 1-d",
+                            op_name="matmul")
+    k_b = b_arr.shape[-2] if b_arr.ndim >= 2 else b_arr.shape[-1]
+    if a_arr.shape[-1] != k_b:
+        raise TensorOpError(
+            f"matmul: contraction dims disagree "
+            f"({a_arr.shape} @ {b_arr.shape})", op_name="matmul")
     if a_arr.ndim == 1 and b_arr.ndim == 1:
         flops = 2.0 * a_arr.size
     else:
@@ -149,15 +182,29 @@ def conv2d(x: object, weight: object, bias: Optional[object] = None,
     attribute cuDNN kernels)."""
     tx, tw = as_tensor(x), as_tensor(weight)
     x_arr, w_arr = tx.data, tw.data
+    if x_arr.ndim != 4 or w_arr.ndim != 4:
+        raise TensorOpError(
+            f"conv2d: expected NCHW input and OIHW weight, got ranks "
+            f"{x_arr.ndim} and {w_arr.ndim}", op_name="conv2d")
+    if stride < 1:
+        raise TensorOpError(f"conv2d: stride must be >= 1, got {stride}",
+                            op_name="conv2d")
     n, c_in, h, w = x_arr.shape
     c_out, c_in_w, kh, kw = w_arr.shape
     if c_in != c_in_w:
-        raise ValueError(
-            f"conv2d channel mismatch: input has {c_in}, weight expects {c_in_w}")
+        raise TensorOpError(
+            f"conv2d channel mismatch: input has {c_in}, weight expects "
+            f"{c_in_w}", op_name="conv2d")
+    if kh < 1 or kw < 1:
+        raise TensorOpError(
+            f"conv2d: kernel must be non-empty, got {kh}x{kw}",
+            op_name="conv2d")
     h_out = (h + 2 * padding - kh) // stride + 1
     w_out = (w + 2 * padding - kw) // stride + 1
     if h_out <= 0 or w_out <= 0:
-        raise ValueError("conv2d output would be empty; check kernel/stride/padding")
+        raise TensorOpError(
+            "conv2d output would be empty; check kernel/stride/padding",
+            op_name="conv2d")
     flops = 2.0 * n * c_out * h_out * w_out * c_in * kh * kw
     inputs = [tx, tw]
     b_arr: Optional[np.ndarray] = None
@@ -287,18 +334,28 @@ def sigmoid(x: object) -> Tensor:
 
 
 def softmax(x: object, axis: int = -1) -> Tensor:
+    t = as_tensor(x)
+    norm = _norm_axis("softmax", axis, t.ndim)
+
     def _softmax(a: np.ndarray) -> np.ndarray:
+        if a.shape[norm] == 0:   # softmax over the empty set: empty out
+            return a.copy()
         shifted = a - a.max(axis=axis, keepdims=True)
         e = np.exp(shifted)
         return e / e.sum(axis=axis, keepdims=True)
-    return _unary("softmax", _softmax, x, flop_factor=_TRANSCENDENTAL_COST + 3)
+    return _unary("softmax", _softmax, t, flop_factor=_TRANSCENDENTAL_COST + 3)
 
 
 def log_softmax(x: object, axis: int = -1) -> Tensor:
+    t = as_tensor(x)
+    norm = _norm_axis("log_softmax", axis, t.ndim)
+
     def _log_softmax(a: np.ndarray) -> np.ndarray:
+        if a.shape[norm] == 0:
+            return a.copy()
         shifted = a - a.max(axis=axis, keepdims=True)
         return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    return _unary("log_softmax", _log_softmax, x,
+    return _unary("log_softmax", _log_softmax, t,
                   flop_factor=2 * _TRANSCENDENTAL_COST)
 
 
@@ -342,6 +399,8 @@ def where(cond: object, a: object, b: object) -> Tensor:
 def _reduction(name: str, fn: object, x: object, axis: Optional[int],
                keepdims: bool, flop_per_elem: float = 1.0) -> Tensor:
     t = as_tensor(x)
+    if axis is not None:
+        _norm_axis(name, axis, t.ndim)
     flops = flop_per_elem * t.size
     return run_op(name, _EW,
                   lambda a: fn(a, axis=axis, keepdims=keepdims),
@@ -357,11 +416,15 @@ def mean(x: object, axis: Optional[int] = None, keepdims: bool = False) -> Tenso
 
 
 def max(x: object, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:  # noqa: A001
-    return _reduction("max", np.max, x, axis, keepdims)
+    t = as_tensor(x)
+    _require_nonempty_reduction("max", t.shape, t.size, axis)
+    return _reduction("max", np.max, t, axis, keepdims)
 
 
 def min(x: object, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:  # noqa: A001
-    return _reduction("min", np.min, x, axis, keepdims)
+    t = as_tensor(x)
+    _require_nonempty_reduction("min", t.shape, t.size, axis)
+    return _reduction("min", np.min, t, axis, keepdims)
 
 
 def prod(x: object, axis: Optional[int] = None, keepdims: bool = False) -> Tensor:
@@ -375,12 +438,15 @@ def norm(x: object, axis: Optional[int] = None, keepdims: bool = False) -> Tenso
 
 def cumsum(x: object, axis: int = -1) -> Tensor:
     t = as_tensor(x)
+    if t.ndim:
+        _norm_axis("cumsum", axis, t.ndim)
     return run_op("cumsum", _EW, lambda a: np.cumsum(a, axis=axis), [t],
                   flops=float(t.size))
 
 
 def argmax(x: object, axis: Optional[int] = None) -> Tensor:
     t = as_tensor(x)
+    _require_nonempty_reduction("argmax", t.shape, t.size, axis)
     return run_op("argmax", _TR, lambda a: np.argmax(a, axis=axis), [t],
                   flops=float(t.size))
 
@@ -400,6 +466,21 @@ def _fft_flops(d: int, batch: float, n_transforms: int = 3) -> float:
     return n_transforms * _single_fft_flops(d, batch) + batch * 6.0 * d
 
 
+def _binding_dim(op: str, ta: Tensor, tb: Tensor) -> int:
+    """Validated common last-axis extent of a VSA binding pair."""
+    if ta.ndim == 0 or tb.ndim == 0:
+        raise TensorOpError(f"{op}: operands must be at least 1-d",
+                            op_name=op)
+    d = ta.shape[-1]
+    if d == 0:
+        raise TensorOpError(f"{op}: binding dimension is 0", op_name=op)
+    if tb.shape[-1] != d:
+        raise TensorOpError(
+            f"{op}: last-axis extents disagree ({d} vs {tb.shape[-1]})",
+            op_name=op)
+    return d
+
+
 def rfft(x: object, axis: int = -1) -> Tensor:
     """Real-to-complex FFT along ``axis`` (5*n*log2(n) FLOPs/transform).
 
@@ -407,8 +488,11 @@ def rfft(x: object, axis: int = -1) -> Tensor:
     how the paper files the FFT-backed VSA binding algebra).
     """
     t = as_tensor(x)
-    n = t.shape[axis] if t.ndim else 1
-    batch = t.size / n if n else 0.0
+    norm = _norm_axis("rfft", axis, t.ndim)
+    n = t.shape[norm]
+    if n == 0:
+        raise TensorOpError("rfft: FFT axis has length 0", op_name="rfft")
+    batch = t.size / n
     return run_op("rfft", compute=lambda a: np.fft.rfft(a, axis=axis),
                   inputs=[t], flops=_single_fft_flops(n, batch))
 
@@ -416,8 +500,13 @@ def rfft(x: object, axis: int = -1) -> Tensor:
 def irfft(x: object, n: Optional[int] = None, axis: int = -1) -> Tensor:
     """Complex-to-real inverse FFT along ``axis`` producing ``n`` samples."""
     t = as_tensor(x)
-    half = t.shape[axis] if t.ndim else 1
+    norm = _norm_axis("irfft", axis, t.ndim)
+    half = t.shape[norm]
     length = n if n is not None else 2 * (half - 1)
+    if length <= 0:
+        raise TensorOpError(
+            f"irfft: output length {length} (half-spectrum extent {half}); "
+            f"need a positive number of output samples", op_name="irfft")
     batch = t.size / half if half else 0.0
     return run_op("irfft", compute=lambda a: np.fft.irfft(a, n=n, axis=axis),
                   inputs=[t], flops=_single_fft_flops(length, batch))
@@ -430,7 +519,7 @@ def circular_conv(a: object, b: object) -> Tensor:
     paper classifies it under vector/element-wise tensor operations.
     """
     ta, tb = as_tensor(a), as_tensor(b)
-    d = ta.shape[-1]
+    d = _binding_dim("circular_conv", ta, tb)
     batch = np.prod(np.broadcast_shapes(ta.shape[:-1], tb.shape[:-1]), dtype=float) if (
         ta.ndim > 1 or tb.ndim > 1) else 1.0
 
@@ -446,7 +535,7 @@ def circular_conv(a: object, b: object) -> Tensor:
 def circular_corr(a: object, b: object) -> Tensor:
     """Circular correlation (approximate HRR unbinding) along last axis."""
     ta, tb = as_tensor(a), as_tensor(b)
-    d = ta.shape[-1]
+    d = _binding_dim("circular_corr", ta, tb)
     batch = np.prod(np.broadcast_shapes(ta.shape[:-1], tb.shape[:-1]), dtype=float) if (
         ta.ndim > 1 or tb.ndim > 1) else 1.0
 
@@ -492,6 +581,11 @@ def stack(parts: Sequence[object], axis: int = 0) -> Tensor:
 
 def split(x: object, sections: int, axis: int = 0) -> Tuple[Tensor, ...]:
     t = as_tensor(x)
+    norm = _norm_axis("split", axis, t.ndim)
+    if sections < 1 or t.shape[norm] % sections:
+        raise TensorOpError(
+            f"split: cannot cut axis {axis} (extent {t.shape[norm]}) "
+            f"into {sections} equal sections", op_name="split")
     parts = np.split(t.data, sections, axis=axis)
     out = []
     for part in parts:
@@ -510,6 +604,14 @@ def pad(x: object, pad_width: object, value: float = 0.0) -> Tensor:
 def take(x: object, indices: object, axis: int = 0) -> Tensor:
     t = as_tensor(x)
     idx = as_tensor(indices)
+    norm = _norm_axis("take", axis, t.ndim)
+    extent = t.shape[norm]
+    if idx.size:
+        lo, hi = int(idx.data.min()), int(idx.data.max())
+        if lo < -extent or hi >= extent:
+            raise TensorOpError(
+                f"take: index out of range for axis {axis} of extent "
+                f"{extent} (saw [{lo}, {hi}])", op_name="take")
     return run_op("take", _TR,
                   lambda a, i: np.take(a, i.astype(np.int64), axis=axis),
                   [t, idx], flops=0.0)
@@ -570,6 +672,19 @@ def coalesce(indices: object, values: object, size: int) -> Tensor:
     eliminated by summing their values.
     """
     ti, tv = as_tensor(indices), as_tensor(values)
+    if size < 0:
+        raise TensorOpError(f"coalesce: negative size {size}",
+                            op_name="coalesce")
+    if ti.size != tv.size:
+        raise TensorOpError(
+            f"coalesce: {ti.size} indices for {tv.size} values",
+            op_name="coalesce")
+    if ti.size:
+        lo, hi = int(ti.data.min()), int(ti.data.max())
+        if lo < 0 or hi >= size:
+            raise TensorOpError(
+                f"coalesce: coordinate out of range for size {size} "
+                f"(saw [{lo}, {hi}])", op_name="coalesce")
 
     def _compute(idx: np.ndarray, val: np.ndarray) -> np.ndarray:
         out = np.zeros(size, dtype=val.dtype)
@@ -581,6 +696,15 @@ def coalesce(indices: object, values: object, size: int) -> Tensor:
 
 def one_hot(indices: object, depth: int, dtype: object = np.float32) -> Tensor:
     t = as_tensor(indices)
+    if depth < 1:
+        raise TensorOpError(f"one_hot: depth must be >= 1, got {depth}",
+                            op_name="one_hot")
+    if t.size:
+        lo, hi = int(t.data.min()), int(t.data.max())
+        if lo < 0 or hi >= depth:
+            raise TensorOpError(
+                f"one_hot: index out of range for depth {depth} "
+                f"(saw [{lo}, {hi}])", op_name="one_hot")
 
     def _compute(idx: np.ndarray) -> np.ndarray:
         flat = idx.astype(np.int64).reshape(-1)

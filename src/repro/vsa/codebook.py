@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import tensor as T
+from repro.tensor.errors import TensorOpError
 from repro.tensor.tensor import Tensor
 from repro.vsa.hypervector import VSASpace
 
@@ -84,7 +85,15 @@ class CleanupMemory:
         self.codebook = codebook
 
     def cleanup(self, query: Tensor) -> Tuple[List[str], Tensor]:
-        """Return best-matching symbol(s) and the similarity scores."""
+        """Return best-matching symbol(s) and the similarity scores.
+
+        Raises a classified :class:`TensorOpError` on an empty
+        codebook — there is no nearest symbol to recover, and letting
+        the argmax see an empty axis would surface a raw numpy error.
+        """
+        if len(self.codebook) == 0:
+            raise TensorOpError("cleanup over an empty codebook",
+                                op_name="cleanup")
         sims = self.codebook.similarities(query)
         best = T.argmax(sims, axis=-1)
         idx = np.atleast_1d(best.numpy())

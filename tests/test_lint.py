@@ -261,6 +261,29 @@ class TestRL004Determinism:
             """, relpath="core/sampling.py")
         assert not by_check(result, "RL004")
 
+    def test_stdlib_random_module_functions(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import random
+
+            def pick(items):
+                random.shuffle(items)
+                return random.choice(items), random.random()
+            """, relpath="core/sampling.py")
+        found = by_check(result, "RL004")
+        assert [f.line for f in found] == [4, 5, 5]
+        assert "random.shuffle" in found[0].message
+        assert "hidden global RNG" in found[0].message
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            import random
+
+            def pick(items, seed):
+                rng = random.Random(seed)
+                return rng.choice(items)
+            """, relpath="core/sampling.py")
+        assert not by_check(result, "RL004")
+
 
 class TestRL005ContextSafety:
     def test_private_stack_access(self, tmp_path):
@@ -337,6 +360,27 @@ class TestRL005ContextSafety:
             """, relpath="core/sneaky.py")
         found = by_check(result, "RL005")
         assert [f.line for f in found] == [1, 4]
+
+    def test_private_observer_stack_import(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor.context import _observer_stack
+
+            def peek():
+                return _observer_stack()[-1]
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [1, 4]
+
+    def test_unpaired_op_observer_push(self, tmp_path):
+        result = lint_snippet(tmp_path, """\
+            from repro.tensor.context import push_op_observer
+
+            def record_forever(recorder):
+                push_op_observer(recorder)
+            """, relpath="core/sneaky.py")
+        found = by_check(result, "RL005")
+        assert [f.line for f in found] == [4]
+        assert "push_op_observer" in found[0].message
 
     def test_unpaired_metrics_runtime_push(self, tmp_path):
         result = lint_snippet(tmp_path, """\

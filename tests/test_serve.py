@@ -198,7 +198,7 @@ class TestArtifactCache:
         cache.checkout(k1)                    # rebuild
         stats = cache.stats()
         assert stats == {"hits": 1, "misses": 4, "evictions": 2,
-                         "size": 2, "capacity": 2}
+                         "build_errors": 0, "size": 2, "capacity": 2}
         assert built == ["a", "b", "c", "a"]
 
     def test_checkout_returns_fresh_copies(self):
@@ -208,6 +208,32 @@ class TestArtifactCache:
         assert first is not second
         assert cache.stats()["misses"] == 1
         assert cache.stats()["hits"] == 1
+
+    def test_failed_build_does_not_poison_the_gate(self):
+        # first checkout dies mid-build; the key's build gate must be
+        # torn down so a retry rebuilds instead of deadlocking or
+        # resurrecting the dead artifact
+        calls = []
+
+        class Flaky:
+            def __init__(self, name, seed=0):
+                self.name, self.seed = name, seed
+
+            def build(self):
+                calls.append(self.name)
+                if len(calls) == 1:
+                    raise RuntimeError("transient build failure")
+
+        cache = ArtifactCache(capacity=2,
+                              builder=lambda n, seed=0, **kw: Flaky(n, seed))
+        key = ArtifactKey("a", 0)
+        with pytest.raises(RuntimeError):
+            cache.checkout(key)
+        assert cache.stats()["build_errors"] == 1
+        artifact = cache.checkout(key)     # clean rebuild, not a hang
+        assert artifact.name == "a"
+        assert len(calls) == 2
+        assert cache.stats()["build_errors"] == 1
 
     def test_cached_execution_is_deterministic(self):
         # lnn mutates its KB while profiling; a cached instance must
@@ -313,6 +339,32 @@ class TestLiveServer:
         summary = server.stats.summary()
         assert summary["deterministic"]["requests"] == 6
         assert summary["measured"]["wall_elapsed"] > 0
+
+    @pytest.mark.parametrize("drain", [True, False])
+    def test_stop_classifies_every_pending_request(self, drain):
+        # requests caught between queue and batcher at shutdown must
+        # still resolve to a classified terminal state
+        from repro.serve.queue import REJECT_REASONS
+        from repro.serve.request import (REQUEST_STATUSES,
+                                         STATUS_REJECTED)
+        server = InferenceServer(
+            ServeConfig(workers=1, batch=BatchPolicy(max_batch_size=2,
+                                                     max_wait=0.01)))
+        server.start()
+        try:
+            pending = [server.submit("lnn", seed=0) for _ in range(8)]
+        finally:
+            server.stop(drain=drain)
+        for p in pending:
+            assert p.done()
+            response = p.result(timeout=0.0)
+            assert response.status in REQUEST_STATUSES
+            if response.status == STATUS_REJECTED:
+                assert response.reject_reason in REJECT_REASONS
+        if drain:
+            assert all(p.result(timeout=0.0).status == "ok"
+                       for p in pending)
+        assert not server._pending
 
     def test_worker_context_visible_inside_batch(self):
         seen = []

@@ -364,3 +364,95 @@ class TestEventAccounting:
         event = prof.trace.events[0]
         assert event.bytes_written == 0
         assert event.flops == 0
+
+
+class TestClassifiedErrors:
+    """Degenerate/boundary inputs must fail as TensorOpError (the
+    classified terminal state the fuzzer's oracle distinguishes from a
+    crash) — or, where an empty result is well-defined, return it."""
+
+    def test_axis_out_of_range(self):
+        from repro.tensor.errors import TensorOpError
+        t = T.tensor(np.ones((2, 3), dtype=np.float32))
+        with pytest.raises(TensorOpError, match="axis"):
+            T.sum(t, axis=2)
+        with pytest.raises(TensorOpError, match="axis"):
+            T.cumsum(t, axis=-3)
+
+    def test_identity_free_reductions_need_elements(self):
+        from repro.tensor.errors import TensorOpError
+        empty = T.tensor(np.zeros((0, 4), dtype=np.float32))
+        for op in (T.max, T.min, T.argmax):
+            with pytest.raises(TensorOpError):
+                op(empty)
+        # reducing the non-empty axis of an empty tensor is still
+        # undefined per empty row
+        with pytest.raises(TensorOpError):
+            T.max(T.tensor(np.zeros((4, 0), dtype=np.float32)), axis=1)
+
+    def test_identity_reductions_accept_empty(self):
+        empty = T.tensor(np.zeros((0, 4), dtype=np.float32))
+        assert T.sum(empty).numpy() == 0.0
+        assert T.prod(empty).numpy() == 1.0
+        out = T.softmax(T.tensor(np.zeros((0, 4), dtype=np.float32)))
+        assert out.shape == (0, 4)
+        out = T.softmax(T.tensor(np.zeros((4, 0), dtype=np.float32)))
+        assert out.shape == (4, 0)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_matmul_rank_and_inner_dim(self):
+        from repro.tensor.errors import TensorOpError
+        scalar = T.tensor(np.float32(2.0))
+        vec = T.tensor(np.ones(3, dtype=np.float32))
+        with pytest.raises(TensorOpError, match="at least 1-d"):
+            T.matmul(scalar, vec)
+        with pytest.raises(TensorOpError):
+            T.matmul(vec, T.tensor(np.ones(4, dtype=np.float32)))
+
+    def test_fft_degenerate_lengths(self):
+        from repro.tensor.errors import TensorOpError
+        with pytest.raises(TensorOpError, match="length 0"):
+            T.rfft(T.tensor(np.zeros(0, dtype=np.float32)))
+        half = T.tensor(np.zeros(1, dtype=np.complex64))
+        with pytest.raises(TensorOpError):
+            T.irfft(half, n=0)
+
+    def test_circular_binding_validates_dims(self):
+        from repro.tensor.errors import TensorOpError
+        a = T.tensor(np.ones(4, dtype=np.float32))
+        with pytest.raises(TensorOpError, match="binding dimension"):
+            T.circular_conv(T.tensor(np.zeros(0, dtype=np.float32)),
+                            T.tensor(np.zeros(0, dtype=np.float32)))
+        with pytest.raises(TensorOpError):
+            T.circular_corr(a, T.tensor(np.ones(5, dtype=np.float32)))
+
+    def test_split_take_validate_arguments(self):
+        from repro.tensor.errors import TensorOpError
+        t = T.tensor(np.arange(6, dtype=np.float32))
+        with pytest.raises(TensorOpError):
+            T.split(t, 4)           # 6 % 4 != 0
+        with pytest.raises(TensorOpError):
+            T.take(t, T.tensor(np.array([7], dtype=np.int64)))
+
+    def test_indexed_builders_validate_ranges(self):
+        from repro.tensor.errors import TensorOpError
+        idx = T.tensor(np.array([0, 2], dtype=np.int64))
+        val = T.tensor(np.ones(2, dtype=np.float32))
+        with pytest.raises(TensorOpError, match="depth"):
+            T.one_hot(idx, 0)
+        with pytest.raises(TensorOpError):
+            T.one_hot(idx, 2)       # index 2 out of range
+        with pytest.raises(TensorOpError, match="negative size"):
+            T.coalesce(idx, val, -1)
+        with pytest.raises(TensorOpError):
+            T.coalesce(idx, val, 2)  # coord 2 out of range
+
+    def test_conv2d_validates_geometry(self):
+        from repro.tensor.errors import TensorOpError
+        x = T.tensor(np.ones((1, 2, 4, 4), dtype=np.float32))
+        w_bad = T.tensor(np.ones((1, 3, 3, 3), dtype=np.float32))
+        with pytest.raises(TensorOpError, match="channel mismatch"):
+            T.conv2d(x, w_bad)
+        w_big = T.tensor(np.ones((1, 2, 9, 9), dtype=np.float32))
+        with pytest.raises(TensorOpError):
+            T.conv2d(x, w_big)      # kernel larger than padded input
