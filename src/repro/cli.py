@@ -126,8 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="static instrumentation-soundness checks over the suite's "
-             "own source (exit 2 on findings, 3 on internal error)")
+        help="static soundness checks over the suite's own source — "
+             "instrumentation (RL00x) and whole-program concurrency "
+             "(RL10x); `lint explain RLxxx` describes one check "
+             "(exit 2 on findings, 3 on internal error)")
     from repro.lint.cli import add_lint_arguments
     add_lint_arguments(lint)
 

@@ -8,6 +8,15 @@ zones, run_op names consistent with the op taxonomy, workloads
 entering their declared phases, deterministic RNG/clock usage, and
 context-stack discipline).
 
+The RL100 series adds whole-program concurrency soundness on top of
+the per-file checks: :func:`repro.lint.program.build_program` links
+every module into one :class:`~repro.lint.program.Program` (symbol
+table, call graph, thread entrypoints, lock contexts, sharing taint)
+and ``repro.lint.concurrency`` runs five checks over it — RL101
+unsynchronized shared state, RL102 lock-order cycles, RL103 thread
+escapes without a defensive copy, RL104 process-boundary pickle
+readiness, RL105 blocking calls under a lock.
+
 Programmatic entry point::
 
     from repro.lint import LintConfig, run_lint
@@ -27,15 +36,16 @@ from repro.lint.engine import (DEFAULT_ZONES, LintConfig, LintContext,
                                discover_files, run_lint)
 from repro.lint.findings import (SEVERITY_ERROR, SEVERITY_WARNING, Finding)
 from repro.lint.pragmas import PragmaIndex
+from repro.lint.program import Program, build_program
 from repro.lint.registry import LintCheck, all_checks, register_check
 from repro.lint.report import render_json, render_text
 
 __all__ = [
     "DEFAULT_BASELINE_NAME", "DEFAULT_ZONES",
     "BaselineError", "Finding", "LintCheck", "LintConfig", "LintContext",
-    "LintResult", "ModuleSource", "PragmaIndex",
+    "LintResult", "ModuleSource", "PragmaIndex", "Program",
     "SEVERITY_ERROR", "SEVERITY_WARNING",
-    "all_checks", "default_scan_root", "discover_files", "load_baseline",
-    "register_check", "render_json", "render_text", "run_lint",
-    "split_baselined", "write_baseline",
+    "all_checks", "build_program", "default_scan_root", "discover_files",
+    "load_baseline", "register_check", "render_json", "render_text",
+    "run_lint", "split_baselined", "write_baseline",
 ]

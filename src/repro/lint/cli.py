@@ -40,8 +40,59 @@ def add_lint_arguments(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument("--strict", action="store_true",
                      help="treat warnings as errors (CI mode)")
     cmd.add_argument("--select", default=None,
-                     help="comma-separated check ids to run "
-                          "(default: all)")
+                     help="comma-separated check ids to run; a family "
+                          "wildcard like RL1xx selects every "
+                          "registered RL1-series check (default: all)")
+    cmd.add_argument("--ignore", default=None,
+                     help="comma-separated check ids (or RL1xx-style "
+                          "families) to skip")
+
+
+def _registered_ids() -> List[str]:
+    import repro.lint.checks  # noqa: F401
+    import repro.lint.concurrency  # noqa: F401
+    from repro.lint.registry import all_checks
+    return [cls.check_id for cls in all_checks()]
+
+
+def _expand_checks(spec: str) -> Set[str]:
+    """Parse a --select/--ignore spec, expanding RL1xx-style families."""
+    out: Set[str] = set()
+    known = _registered_ids()
+    for part in spec.split(","):
+        part = part.strip().upper()
+        if not part:
+            continue
+        if part.endswith("X"):
+            prefix = part.rstrip("X")
+            matches = [cid for cid in known
+                       if cid.startswith(prefix) and len(cid) == len(part)]
+            out.update(matches or (part,))
+        else:
+            out.add(part)
+    return out
+
+
+def _explain_command(check_id: str) -> int:
+    import repro.lint.checks  # noqa: F401
+    import repro.lint.concurrency  # noqa: F401
+    from repro.lint.registry import all_checks
+    wanted = check_id.strip().upper()
+    for cls in all_checks():
+        if cls.check_id != wanted:
+            continue
+        print(f"{cls.check_id} ({cls.name}) — severity: {cls.severity}")
+        print()
+        print(f"  {cls.description}")
+        if cls.example:
+            print()
+            print("  example:")
+            for line in cls.example.rstrip().splitlines():
+                print(f"    {line}")
+        return EXIT_CLEAN
+    known = ", ".join(_registered_ids())
+    print(f"repro lint explain: unknown check {wanted!r} (known: {known})")
+    return EXIT_INTERNAL
 
 
 def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
@@ -52,10 +103,18 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
+    if args.paths and args.paths[0] == "explain":
+        if len(args.paths) != 2:
+            print("usage: repro lint explain <check-id>")
+            return EXIT_INTERNAL
+        return _explain_command(args.paths[1])
+
     select: Optional[Set[str]] = None
     if args.select:
-        select = {part.strip().upper() for part in args.select.split(",")
-                  if part.strip()}
+        select = _expand_checks(args.select)
+    ignore: Optional[Set[str]] = None
+    if getattr(args, "ignore", None):
+        ignore = _expand_checks(args.ignore)
 
     roots = [Path(p) for p in args.paths] if args.paths else [
         default_scan_root()]
@@ -64,9 +123,11 @@ def run_lint_command(args: argparse.Namespace) -> int:
         print(f"repro lint: no such path: {', '.join(missing)}")
         return EXIT_INTERNAL
 
-    result = run_lint(LintConfig(root=roots[0], select=select))
+    result = run_lint(LintConfig(root=roots[0], select=select,
+                                 ignore=ignore))
     for root in roots[1:]:
-        extra = run_lint(LintConfig(root=root, select=select))
+        extra = run_lint(LintConfig(root=root, select=select,
+                                    ignore=ignore))
         result.findings.extend(extra.findings)
         result.suppressed.extend(extra.suppressed)
         result.files_scanned += extra.files_scanned

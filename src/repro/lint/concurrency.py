@@ -1,0 +1,420 @@
+"""RL100-series: whole-program concurrency soundness checks.
+
+RL001–RL005 guard the instrumentation one module at a time; this
+family guards the *threading discipline* of the whole tree.  All five
+checks share one :class:`~repro.lint.program.Program` — module graph,
+cross-module symbol table, call graph, thread-entrypoint discovery,
+lock-context model, and a taint fixpoint separating thread-shared
+values from thread-private ones — built once per lint run in
+``finalize`` and cached on the lint context.
+
+======  ======================================================
+RL101   unsynchronized shared mutable state (thread + main,
+        no common lock)
+RL102   lock-order cycles across the acquisition graph
+RL103   mutable object escapes into a thread without a
+        defensive copy
+RL104   serve request-path types must stay picklable-by-
+        construction (process-boundary readiness)
+RL105   blocking call (workload execution, ``time.sleep``,
+        unbounded ``queue.get``) while holding a lock
+======  ======================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import LintContext, ModuleSource
+from repro.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING
+from repro.lint.program import (CLEAN, SHARED, _BLOCKING_SUFFIXES,
+                                MutationSite, Program, TypeRef,
+                                build_program)
+from repro.lint.registry import LintCheck, register_check
+
+_STATE_MODULES = "RL100.modules"
+_STATE_PROGRAM = "RL100.program"
+
+#: modules whose classes cross (or will cross) a process boundary —
+#: the serve request path that ROADMAP item 2 turns into IPC
+_BOUNDARY_MODULES = ("serve/request.py",)
+
+#: external types that cannot cross a pickle boundary
+_UNPICKLABLE = (
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Event", "threading.Semaphore", "threading.Thread",
+    "threading.local", "queue.Queue", "queue.PriorityQueue",
+    "queue.LifoQueue", "typing.Callable", "typing.Iterator",
+    "typing.Generator", "typing.IO", "typing.TextIO", "typing.BinaryIO",
+    "collections.abc.Callable", "collections.abc.Iterator",
+    "collections.abc.Generator", "io.IOBase",
+)
+
+
+class _ProgramCheck(LintCheck):
+    """Base: collect modules during visits, share one built Program."""
+
+    def visit_module(self, module: ModuleSource, ctx: LintContext) -> None:
+        mods: Dict[str, ModuleSource] = ctx.state.setdefault(
+            _STATE_MODULES, {})  # type: ignore[assignment]
+        mods[module.relpath] = module
+
+    def program(self, ctx: LintContext) -> Program:
+        cached = ctx.state.get(_STATE_PROGRAM)
+        if isinstance(cached, Program):
+            return cached
+        mods: Dict[str, ModuleSource] = ctx.state.get(
+            _STATE_MODULES, {})  # type: ignore[assignment]
+        ordered = [mods[key] for key in sorted(mods)]
+        program = build_program(ordered, ctx.config.root.resolve())
+        ctx.state[_STATE_PROGRAM] = program
+        return program
+
+
+def _short(qname: str) -> str:
+    return qname.rsplit(".", 1)[-1]
+
+
+def _key_display(program: Program, key: Tuple) -> str:
+    if key[0] == "attr":
+        return f"{_short(key[1])}.{key[2]}"
+    if key[0] == "name":
+        return f"{program.fn_display(key[1])}'s local {key[2]!r}"
+    return f"module global {key[2]!r}"
+
+
+@register_check
+class SharedStateCheck(_ProgramCheck):
+    check_id = "RL101"
+    name = "unsynchronized-shared-state"
+    description = ("mutable state written on a worker thread without a "
+                   "lock while the main thread also touches it")
+    severity = SEVERITY_ERROR
+    example = (
+        "class Stats:\n"
+        "    def record(self):        # called from worker threads\n"
+        "        self.count += 1      # RL101: no lock, main thread\n"
+        "                             # reads self.count in summary()\n")
+
+    def finalize(self, ctx: LintContext) -> None:
+        program = self.program(ctx)
+        muts: Dict[Tuple, List[MutationSite]] = {}
+        for site in program.mutations:
+            muts.setdefault(site.key, []).append(site)
+        loads: Dict[Tuple, List] = {}
+        for load in program.loads:
+            loads.setdefault(load.key, []).append(load)
+
+        for key in sorted(muts, key=repr):
+            sites = muts[key]
+            bad = [s for s in sites
+                   if s.fn in program.thread_side and not s.locks
+                   and not s.in_ctor and self._shared(program, s)]
+            if not bad:
+                continue
+            touched = any(
+                s.fn in program.main_side and not s.in_ctor
+                for s in sites)
+            touched = touched or any(
+                l.fn in program.main_side for l in loads.get(key, ()))
+            if key[0] == "name" and key[1] in program.main_side:
+                touched = True
+            if not touched:
+                continue                 # thread-confined state
+            first = min(bad, key=lambda s: (s.relpath, s.line))
+            others = sorted({(s.relpath, s.line) for s in bad}
+                            - {(first.relpath, first.line)})
+            extra = "" if not others else (
+                "; also at " + ", ".join(f"{r}:{n}" for r, n in others))
+            ctx.report(
+                self, first.relpath, first.line, 0,
+                f"{_key_display(program, key)} is mutated on a worker "
+                f"thread in {program.fn_display(first.fn)} with no lock "
+                f"held, but the main thread also touches it — guard "
+                f"both sides with a common lock{extra}")
+
+    @staticmethod
+    def _shared(program: Program, site: MutationSite) -> bool:
+        if site.recv is None:
+            return True
+        return program.taint(site.recv, site.fn) == SHARED
+
+
+@register_check
+class LockOrderCheck(_ProgramCheck):
+    check_id = "RL102"
+    name = "lock-order-cycle"
+    description = ("two locks acquired in opposite orders on different "
+                   "code paths (deadlock potential)")
+    severity = SEVERITY_ERROR
+    example = (
+        "def a(self):\n"
+        "    with self._x:\n"
+        "        with self._y: ...    # x -> y\n"
+        "def b(self):\n"
+        "    with self._y:\n"
+        "        self.a()             # RL102: y -> x closes a cycle\n")
+
+    def finalize(self, ctx: LintContext) -> None:
+        program = self.program(ctx)
+        edges: Dict[Tuple, Dict[Tuple, Tuple[str, int]]] = {}
+
+        def add(outer: Tuple, inner: Tuple, relpath: str,
+                line: int) -> None:
+            if outer == inner:
+                return
+            edges.setdefault(outer, {}).setdefault(inner,
+                                                   (relpath, line))
+
+        for acq in program.acquisitions:
+            for held in acq.held:
+                add(held, acq.lock, acq.relpath, acq.line)
+        for fn in program.functions.values():
+            for call in fn.calls:
+                if call.callee is None or not call.locks:
+                    continue
+                callee = program.functions.get(call.callee)
+                if callee is None:
+                    continue
+                for inner in callee.locks_acquired:
+                    for held in call.locks:
+                        add(held, inner, fn.relpath, call.line)
+
+        reported: Set[Tuple[Tuple, ...]] = set()
+        for start in sorted(edges, key=repr):
+            cycle = self._find_cycle(edges, start)
+            if cycle is None:
+                continue
+            canon = self._canonical(cycle)
+            if canon in reported:
+                continue
+            reported.add(canon)
+            relpath, line = edges[cycle[0]][cycle[1]]
+            chain = " -> ".join(self._lock_display(program, lock)
+                                for lock in cycle + (cycle[0],))
+            ctx.report(
+                self, relpath, line, 0,
+                f"lock-order cycle: {chain} — these locks are taken "
+                f"in conflicting orders on different paths and can "
+                f"deadlock")
+
+    @staticmethod
+    def _find_cycle(edges, start) -> Optional[Tuple]:
+        stack = [(start, (start,))]
+        seen: Set[Tuple] = set()
+        while stack:
+            node, path = stack.pop()
+            for nxt in sorted(edges.get(node, ()), key=repr):
+                if nxt == start:
+                    return path
+                if nxt in seen or nxt in path:
+                    continue
+                seen.add(nxt)
+                stack.append((nxt, path + (nxt,)))
+        return None
+
+    @staticmethod
+    def _canonical(cycle: Tuple) -> Tuple:
+        names = [repr(lock) for lock in cycle]
+        pivot = names.index(min(names))
+        return cycle[pivot:] + cycle[:pivot]
+
+    @staticmethod
+    def _lock_display(program: Program, lock: Tuple) -> str:
+        if lock[0] == "attr":
+            return f"{_short(lock[1])}.{lock[2]}"
+        if lock[0] == "local":
+            return f"{program.fn_display(lock[1])}:{lock[2]}"
+        return f"{lock[1]}:{lock[2]}"
+
+
+@register_check
+class ThreadEscapeCheck(_ProgramCheck):
+    check_id = "RL103"
+    name = "thread-escape-without-copy"
+    description = ("a mutable, lock-free object crosses a thread-spawn "
+                   "boundary while the caller keeps its reference")
+    severity = SEVERITY_ERROR
+    example = (
+        "plan = FaultPlan(...)\n"
+        "for w in workers:\n"
+        "    Thread(target=w.run, args=(plan,))   # RL103: every\n"
+        "        # thread mutates the same plan; pass deepcopy(plan)\n")
+
+    def finalize(self, ctx: LintContext) -> None:
+        program = self.program(ctx)
+        for arg in sorted(program.spawn_args,
+                          key=lambda a: (a.relpath, a.line, repr(a.ref))):
+            if arg.loop_var:
+                continue                 # partitioned per thread
+            if arg.type is None or arg.type.container:
+                continue
+            if arg.type.qname not in program.classes:
+                continue
+            if not program.is_thread_unsafe(arg.type.qname):
+                continue                 # stateless, or locks internally
+            taint = program.taint(arg.ref, arg.fn)
+            if taint == CLEAN:
+                continue                 # defensively copied
+            if not arg.in_loop and taint != SHARED:
+                continue                 # fresh object handed off once
+            ctx.report(
+                self, arg.relpath, arg.line, 0,
+                f"{_short(arg.type.qname)} instance escapes into "
+                f"thread target {arg.target} while other threads (or "
+                f"the spawner) retain it, and "
+                f"{_short(arg.type.qname)} mutates its own state "
+                f"without locks — pass a copy.deepcopy() per thread "
+                f"or make it lock-protected")
+
+
+@register_check
+class PickleBoundaryCheck(_ProgramCheck):
+    check_id = "RL104"
+    name = "process-boundary-readiness"
+    description = ("serve request-path types must stay picklable: no "
+                   "locks, threads, queues, callables, generators or "
+                   "file handles in their field closure")
+    severity = SEVERITY_ERROR
+    example = (
+        "@dataclass\n"
+        "class Response:\n"
+        "    done: threading.Event    # RL104: cannot cross the\n"
+        "                             # process boundary of a fleet\n")
+
+    def finalize(self, ctx: LintContext) -> None:
+        program = self.program(ctx)
+        roots = [cls for cls in program.classes.values()
+                 if cls.relpath in _BOUNDARY_MODULES]
+        seen: Set[str] = set()
+        for root in sorted(roots, key=lambda c: c.qname):
+            self._walk(ctx, program, root.qname, (root.name,), seen)
+
+    def _walk(self, ctx: LintContext, program: Program, qname: str,
+              path: Tuple[str, ...], seen: Set[str]) -> None:
+        if qname in seen:
+            return
+        seen.add(qname)
+        cls = program.classes.get(qname)
+        if cls is None:
+            return
+        where = " -> ".join(path)
+        if cls.lock_attrs:
+            locks = ", ".join(sorted(cls.lock_attrs))
+            ctx.report(
+                self, cls.relpath, cls.line, 0,
+                f"{where}: {cls.name} holds lock attribute(s) "
+                f"{locks} and cannot cross a process boundary")
+        mod = program.modules.get(cls.module)
+        for attr, ann in cls.fields:
+            for dotted in self._ann_names(ann):
+                resolved = self._absolute(program, mod, dotted)
+                bad = self._unpicklable(resolved)
+                if bad:
+                    ctx.report(
+                        self, cls.relpath, cls.line, 0,
+                        f"{where}.{attr}: field type {dotted} "
+                        f"({bad}) is not picklable-by-construction")
+            got = cls.attr_types.get(attr)
+            if got is not None and got.qname in program.classes:
+                self._walk(ctx, program, got.qname,
+                           path + (attr, _short(got.qname)), seen)
+
+    @staticmethod
+    def _ann_names(ann: ast.expr) -> List[str]:
+        names: List[str] = []
+        todo: List[ast.expr] = [ann]
+        while todo:
+            node = todo.pop()
+            if isinstance(node, ast.Constant) \
+                    and isinstance(node.value, str):
+                try:
+                    todo.append(ast.parse(node.value,
+                                          mode="eval").body)
+                except SyntaxError:
+                    continue
+                continue
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Name, ast.Attribute)):
+                    parts: List[str] = []
+                    cur: ast.expr = sub
+                    while isinstance(cur, ast.Attribute):
+                        parts.append(cur.attr)
+                        cur = cur.value
+                    if isinstance(cur, ast.Name):
+                        parts.append(cur.id)
+                        names.append(".".join(reversed(parts)))
+        return names
+
+    @staticmethod
+    def _absolute(program: Program, mod, dotted: str) -> str:
+        if mod is None:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    _UNPICKLABLE_TAILS = frozenset((
+        "Lock", "RLock", "Condition", "Event", "Semaphore", "Thread",
+        "Callable", "Iterator", "Generator", "IO", "TextIO",
+        "BinaryIO", "Queue", "PriorityQueue", "LifoQueue"))
+    _STDLIB_HEADS = frozenset((
+        "threading", "queue", "typing", "collections", "io",
+        "concurrent", "multiprocessing"))
+
+    @classmethod
+    def _unpicklable(cls, dotted: str) -> Optional[str]:
+        if dotted in _UNPICKLABLE:
+            return dotted
+        head = dotted.split(".", 1)[0]
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in cls._UNPICKLABLE_TAILS and (
+                head in cls._STDLIB_HEADS or head == tail):
+            return tail
+        return None
+
+
+@register_check
+class BlockingUnderLockCheck(_ProgramCheck):
+    check_id = "RL105"
+    name = "blocking-while-locked"
+    description = ("a blocking operation (workload execution, sleep, "
+                   "unbounded queue.get/join/wait) runs while a lock "
+                   "is held")
+    severity = SEVERITY_WARNING
+    example = (
+        "with self._lock:\n"
+        "    batch = self._queue.get()   # RL105: every other thread\n"
+        "                                # now waits on this consumer\n")
+
+    def finalize(self, ctx: LintContext) -> None:
+        program = self.program(ctx)
+        for site in sorted(program.blocking,
+                           key=lambda s: (s.relpath, s.line)):
+            locks = ", ".join(sorted(
+                LockOrderCheck._lock_display(program, lock)
+                for lock in site.locks))
+            ctx.report(
+                self, site.relpath, site.line, 0,
+                f"blocking call {site.what} while holding {locks} — "
+                f"move the wait outside the critical section or use "
+                f"a timeout")
+        for fn in program.functions.values():
+            for call in fn.calls:
+                if call.callee is None or not call.locks:
+                    continue
+                if not call.callee.rsplit(".", 1)[-1].endswith(
+                        tuple(_BLOCKING_SUFFIXES)):
+                    continue
+                locks = ", ".join(sorted(
+                    LockOrderCheck._lock_display(program, lock)
+                    for lock in call.locks))
+                ctx.report(
+                    self, fn.relpath, call.line, 0,
+                    f"whole-workload execution "
+                    f"{program.fn_display(call.callee)}() while "
+                    f"holding {locks} — execution can take seconds "
+                    f"and serializes every contender")

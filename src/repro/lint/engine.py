@@ -45,10 +45,12 @@ class LintConfig:
     root: Path
     zones: Tuple[str, ...] = DEFAULT_ZONES
     select: Optional[Set[str]] = None  #: check ids; None = all
+    ignore: Optional[Set[str]] = None  #: check ids dropped after select
 
     @classmethod
-    def for_package(cls, select: Optional[Set[str]] = None) -> "LintConfig":
-        return cls(root=default_scan_root(), select=select)
+    def for_package(cls, select: Optional[Set[str]] = None,
+                    ignore: Optional[Set[str]] = None) -> "LintConfig":
+        return cls(root=default_scan_root(), select=select, ignore=ignore)
 
 
 class ModuleSource:
@@ -167,11 +169,14 @@ def discover_files(root: Path) -> List[Path]:
 
 def run_lint(config: LintConfig) -> LintResult:
     """Run all (selected) checks over the configured tree."""
-    # importing the checks module populates the registry
+    # importing the check modules populates the registry
     import repro.lint.checks  # noqa: F401
+    import repro.lint.concurrency  # noqa: F401
 
     checks = [cls() for cls in all_checks()
-              if config.select is None or cls.check_id in config.select]
+              if (config.select is None or cls.check_id in config.select)
+              and (config.ignore is None
+                   or cls.check_id not in config.ignore)]
     ctx = LintContext(config=config)
     modules: List[ModuleSource] = []
     root = config.root.resolve()

@@ -1,0 +1,1876 @@
+"""Whole-program model backing the RL100-series concurrency checks.
+
+Where ``repro.lint.checks`` inspects one module at a time, this layer
+builds a *program*: every scanned module indexed by dotted name, a
+cross-module symbol table (imports, aliases, transitive re-exports), a
+call graph (``self.method``, annotation-typed receivers, module
+aliases, callable-valued parameters and attributes), thread-entrypoint
+discovery (``threading.Thread(target=...)``, ``Executor.submit``), a
+lock-context model (which locks are held at each statement), and a
+taint fixpoint classifying every value reaching a thread as *shared*,
+*confined* (thread-private: loop-partitioned spawn args, fresh
+constructions, ownership-transferring ``pop``/queue ``get``) or
+*clean* (``copy.deepcopy`` sanitized).
+
+Everything is stdlib ``ast``; no imports of the scanned code.  The
+model is deliberately conservative in both directions the checks
+need: a value is only *shared* when a concrete chain of assignments,
+calls, spawns or escapes says so (precision — a lock-free mutation of
+thread-private state is not a finding), and lock identities are
+normalized (``threading.Condition(self._lock)`` aliases its inner
+lock) so guarded code is recognized as guarded (soundness).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Dict, FrozenSet, Iterable, List, Optional, Sequence,
+                    Set, Tuple)
+
+from repro.lint.engine import ModuleSource
+
+# taint lattice: join = max
+CLEAN, CONFINED, SHARED = 0, 1, 2
+
+#: dotted stdlib constructors that produce locks
+_LOCK_CTORS = {"threading.Lock", "threading.RLock"}
+_COND_CTOR = "threading.Condition"
+#: stdlib names whose construction produces a thread handle / executor
+_THREAD_CTOR = "threading.Thread"
+_EXECUTOR_CTORS = {"concurrent.futures.ThreadPoolExecutor",
+                   "futures.ThreadPoolExecutor"}
+#: sanitizers: calling these on a value yields a private copy
+_SANITIZERS = {"copy.deepcopy", "copy.copy"}
+#: method names that mutate their receiver in place
+_MUTATORS = {"append", "add", "update", "setdefault", "insert", "extend",
+             "pop", "popitem", "remove", "discard", "clear", "appendleft",
+             "sort", "reverse"}
+#: method names that transfer ownership of the returned element
+_EXTRACTORS = {"pop", "popitem", "get_nowait"}
+#: blocking method names when called without a timeout argument
+_BLOCKING_METHODS = {"get", "join", "wait", "acquire", "result"}
+#: resolved in-tree callee suffixes that execute whole workloads
+_BLOCKING_SUFFIXES = ("run_workload", "execute_batch", "run_roster",
+                      "profile_workload")
+#: container generics whose element type we propagate
+_CONTAINERS = {"Dict", "dict", "List", "list", "Sequence", "Tuple",
+               "tuple", "Set", "set", "FrozenSet", "frozenset",
+               "Mapping", "MutableMapping", "Iterable", "DefaultDict"}
+_UNWRAP = {"Optional", "ClassVar", "Final"}
+
+LockId = Tuple[str, ...]          # ("attr",cls,a) ("global",mod,n) ("local",fn,n)
+Ref = Tuple                        # tagged value descriptor, see _Fn._ref
+
+
+@dataclass
+class TypeRef:
+    """A resolved in-tree class, possibly reached through a container.
+
+    ``queue`` marks ``queue.Queue[...]``-typed channels, whose ``get``
+    transfers element ownership to the receiving thread.
+    """
+
+    qname: str
+    container: bool = False
+    queue: bool = False
+
+
+@dataclass
+class MutationSite:
+    """One write to shared-candidate state."""
+
+    fn: str
+    relpath: str
+    line: int
+    key: Tuple                    # ("attr",cls,a) | ("name",owner_fn,n) | ("global",mod,n)
+    recv: Optional[Ref]
+    locks: FrozenSet[LockId]
+    in_ctor: bool
+    kind: str                     # assign / augassign / item / call
+
+
+@dataclass
+class LoadSite:
+    fn: str
+    relpath: str
+    line: int
+    key: Tuple
+
+
+@dataclass
+class Acquisition:
+    """Taking a lock, with the locks already held at that point."""
+
+    fn: str
+    relpath: str
+    line: int
+    lock: LockId
+    held: FrozenSet[LockId]
+
+
+@dataclass
+class BlockingSite:
+    fn: str
+    relpath: str
+    line: int
+    locks: FrozenSet[LockId]
+    what: str
+
+
+@dataclass
+class SpawnArg:
+    """One value crossing a spawn boundary (RL103 raw material)."""
+
+    fn: str
+    relpath: str
+    line: int
+    ref: Ref
+    type: Optional[TypeRef]
+    loop_var: bool
+    in_loop: bool
+    target: str                   # display name of the thread target
+
+
+@dataclass
+class CallSite:
+    fn: str
+    line: int
+    callee: Optional[str]         # statically resolved function qname
+    callee_ref: Optional[Ref]     # dynamic: param/attr/bound-valued callee
+    recv: Optional[Ref]           # method receiver
+    args: List[Tuple[Optional[str], Ref, Optional[TypeRef]]]
+    locks: FrozenSet[LockId]
+    external: Optional[str] = None  # dotted stdlib/third-party name
+
+
+@dataclass
+class SpawnSite:
+    fn: str
+    line: int
+    target: Ref
+    args: List[Tuple[Ref, Optional[TypeRef], bool]]  # (ref, type, loop_var)
+    in_loop: bool
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method (or a module's top-level pseudo-function)."""
+
+    qname: str
+    module: str
+    relpath: str
+    name: str
+    line: int
+    cls: Optional[str] = None
+    parent: Optional[str] = None          # lexically enclosing function
+    params: List[str] = field(default_factory=list)
+    param_ann: Dict[str, Optional[TypeRef]] = field(default_factory=dict)
+    returns: Optional[TypeRef] = None
+    returns_fresh: bool = False
+    return_refs: List[Ref] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+    spawns: List[SpawnSite] = field(default_factory=list)
+    locks_acquired: Set[LockId] = field(default_factory=set)
+    locals_ref: Dict[str, Ref] = field(default_factory=dict)
+    locals_type: Dict[str, TypeRef] = field(default_factory=dict)
+    is_entrypoint: bool = False
+
+    @property
+    def is_ctor(self) -> bool:
+        return self.name in ("__init__", "__post_init__")
+
+
+@dataclass
+class ClassInfo:
+    qname: str
+    module: str
+    relpath: str
+    line: int
+    name: str
+    bases: List[str] = field(default_factory=list)  # resolved in-tree qnames
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fn qname
+    attr_types: Dict[str, TypeRef] = field(default_factory=dict)
+    fields: List[Tuple[str, ast.expr]] = field(default_factory=list)
+    lock_attrs: Set[str] = field(default_factory=set)
+    cond_alias: Dict[str, str] = field(default_factory=dict)
+    callable_attrs: Set[str] = field(default_factory=set)
+
+
+class _ModuleInfo:
+    """Per-module symbol table."""
+
+    def __init__(self, dotted: str, src: ModuleSource, is_package: bool):
+        self.dotted = dotted
+        self.src = src
+        self.is_package = is_package
+        self.classes: Dict[str, str] = {}      # name -> class qname
+        self.functions: Dict[str, str] = {}    # name -> fn qname
+        self.imports: Dict[str, str] = {}      # local -> absolute dotted
+        self.global_types: Dict[str, TypeRef] = {}
+        self.global_locks: Set[str] = set()
+        self.global_names: Set[str] = set()    # every module-level binding
+
+
+def module_dotted_name(root: Path, relpath: str) -> str:
+    """Dotted module name for ``relpath`` under the scan ``root``.
+
+    When the root directory is itself a package (has ``__init__.py``)
+    its name prefixes every module — scanning ``src/repro`` names
+    ``serve/pool.py`` as ``repro.serve.pool`` so absolute imports in
+    the tree resolve against the index.
+    """
+    parts = relpath.split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if root.is_dir() and (root / "__init__.py").exists():
+        parts = [root.name] + parts
+    return ".".join(parts) if parts else root.name
+
+
+class Program:
+    """The assembled whole-program model (build via :func:`build_program`)."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, _ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.mutations: List[MutationSite] = []
+        self.loads: List[LoadSite] = []
+        self.acquisitions: List[Acquisition] = []
+        self.blocking: List[BlockingSite] = []
+        self.spawn_args: List[SpawnArg] = []
+        self.thread_side: Set[str] = set()
+        self.main_side: Set[str] = set()
+        self.escaped_classes: Set[str] = set()
+        self._self_taint: Dict[str, int] = {}
+        self._param_taint: Dict[Tuple[str, str], int] = {}
+        self._callable_sets: Dict[Tuple[str, str], Set[Ref]] = {}
+        self._attr_callables: Dict[Tuple[str, str], Set[Ref]] = {}
+        self._attr_flows: List[Tuple[str, str, str, str]] = []
+        self._unsafe_cache: Dict[str, bool] = {}
+
+    # -- symbol resolution ---------------------------------------------------
+    def resolve(self, target: str, _depth: int = 0):
+        """Resolve an absolute dotted path to an in-tree symbol.
+
+        Returns ``("module"|"class"|"func"|"global", qname)`` or
+        ``("external", target)`` for paths leaving the scanned tree.
+        Re-export chains (``from repro.serve.pool import Worker``
+        surfaced by ``repro.serve``) resolve transitively.
+        """
+        if _depth > 12:
+            return ("external", target)
+        if target in self.modules:
+            return ("module", target)
+        head, _, last = target.rpartition(".")
+        if head in self.modules:
+            mod = self.modules[head]
+            if last in mod.classes:
+                return ("class", mod.classes[last])
+            if last in mod.functions:
+                return ("func", mod.functions[last])
+            if last in mod.imports:
+                return self.resolve(mod.imports[last], _depth + 1)
+            if last in mod.global_types or last in mod.global_locks:
+                return ("global", target)
+            return ("external", target)
+        if head:
+            sym = self.resolve(head, _depth + 1)
+            if sym[0] == "class":
+                meth = self.lookup_method(sym[1], last)
+                if meth:
+                    return ("func", meth)
+        root = target.split(".", 1)[0]
+        if root in self.modules:  # dotted path under a known package
+            return ("external", target)
+        return ("external", target)
+
+    def resolve_name(self, module: str, name: str):
+        """Resolve a bare name in ``module``'s global scope."""
+        mod = self.modules.get(module)
+        if mod is None:
+            return None
+        if name in mod.classes:
+            return ("class", mod.classes[name])
+        if name in mod.functions:
+            return ("func", mod.functions[name])
+        if name in mod.imports:
+            return self.resolve(mod.imports[name])
+        if name in mod.global_types or name in mod.global_locks \
+                or name in mod.global_names:
+            return ("global", f"{module}.{name}")
+        return None
+
+    def lookup_method(self, class_qname: str, name: str,
+                      _depth: int = 0) -> Optional[str]:
+        """Find ``name`` on the class or (in-tree) base classes."""
+        if _depth > 8:
+            return None
+        cls = self.classes.get(class_qname)
+        if cls is None:
+            return None
+        if name in cls.methods:
+            return cls.methods[name]
+        for base in cls.bases:
+            found = self.lookup_method(base, name, _depth + 1)
+            if found:
+                return found
+        return None
+
+    def attr_type(self, class_qname: str, attr: str,
+                  _depth: int = 0) -> Optional[TypeRef]:
+        if _depth > 8:
+            return None
+        cls = self.classes.get(class_qname)
+        if cls is None:
+            return None
+        if attr in cls.attr_types:
+            return cls.attr_types[attr]
+        for base in cls.bases:
+            found = self.attr_type(base, attr, _depth + 1)
+            if found:
+                return found
+        return None
+
+    def lock_attr(self, class_qname: str, attr: str,
+                  _depth: int = 0) -> Optional[str]:
+        """Normalized lock attribute name (through condition aliases)."""
+        if _depth > 8:
+            return None
+        cls = self.classes.get(class_qname)
+        if cls is None:
+            return None
+        if attr in cls.cond_alias:
+            return self.lock_attr(class_qname, cls.cond_alias[attr],
+                                  _depth + 1) or cls.cond_alias[attr]
+        if attr in cls.lock_attrs:
+            return attr
+        for base in cls.bases:
+            found = self.lock_attr(base, attr, _depth + 1)
+            if found:
+                return found
+        return None
+
+    # -- taint evaluation ----------------------------------------------------
+    def taint(self, ref: Ref, fn: str, _depth: int = 0) -> int:
+        """Taint of a value descriptor evaluated in ``fn``'s context."""
+        if _depth > 12 or not isinstance(ref, tuple) or not ref:
+            return SHARED
+        tag = ref[0]
+        if tag == "self":
+            return self._self_taint.get(fn, CONFINED)
+        if tag == "param":
+            return self._param_taint.get((fn, ref[1]), CONFINED)
+        if tag == "global":
+            return SHARED
+        if tag == "fresh":
+            return CONFINED
+        if tag == "clean":
+            return CLEAN
+        if tag == "extracted":
+            return CONFINED
+        if tag == "opaque":
+            return CONFINED
+        if tag == "call":
+            callee = ref[1]
+            target = self.functions.get(callee) if callee else None
+            if target is None:
+                return SHARED
+            if target.returns_fresh:
+                return CONFINED
+            if not target.return_refs:
+                return CONFINED           # returns None (or never)
+            # interprocedural: the call result is as tainted as what
+            # the callee actually returns, evaluated in its context
+            return max(self.taint(r, callee, _depth + 1)
+                       for r in target.return_refs)
+        if tag in ("attr", "elem"):
+            return self.taint(ref[1], fn, _depth + 1)
+        if tag == "bound":
+            return self.taint(ref[1], ref[3], _depth + 1)
+        if tag in ("func", "cls", "mod", "ext", "lockval"):
+            return CONFINED
+        if tag == "either":
+            return max(self.taint(ref[1], fn, _depth + 1),
+                       self.taint(ref[2], fn, _depth + 1))
+        if tag == "free":
+            owner, inner = self._free_binding(fn, ref[1])
+            if owner is None:
+                return SHARED
+            base = self.taint(inner, owner, _depth + 1)
+            if inner[0] in ("fresh", "extracted", "call") \
+                    and fn in self.thread_side:
+                # a thread closing over its spawner's local shares it
+                # with the spawner (and with sibling threads)
+                return SHARED
+            return base
+        return SHARED
+
+    def _free_binding(self, fn: str,
+                      name: str) -> Tuple[Optional[str], Ref]:
+        """Walk lexical parents to the binding a free variable sees."""
+        info = self.functions.get(fn)
+        seen = 0
+        while info is not None and info.parent is not None and seen < 10:
+            info = self.functions.get(info.parent)
+            seen += 1
+            if info is None:
+                break
+            if name in info.params:
+                return info.qname, ("param", name)
+            if name in info.locals_ref:
+                return info.qname, info.locals_ref[name]
+        return None, ("opaque",)
+
+    # -- derived classifications ---------------------------------------------
+    def is_thread_unsafe(self, class_qname: str) -> bool:
+        """Stateful and lock-free: has a non-ctor method mutating its
+        own attributes with no lock held (the RL103 escape hazard)."""
+        cached = self._unsafe_cache.get(class_qname)
+        if cached is not None:
+            return cached
+        result = False
+        for site in self.mutations:
+            if site.key[0] != "attr" or site.key[1] != class_qname:
+                continue
+            if site.in_ctor or site.locks:
+                continue
+            if site.recv is not None and site.recv[0] == "self":
+                result = True
+                break
+        self._unsafe_cache[class_qname] = result
+        return result
+
+    def fn_display(self, qname: str) -> str:
+        info = self.functions.get(qname)
+        if info is None:
+            return qname
+        return f"{info.cls.rsplit('.', 1)[-1]}.{info.name}" \
+            if info.cls else info.name
+
+
+def build_program(modules: Sequence[ModuleSource], root: Path) -> Program:
+    """Assemble the whole-program model from parsed modules."""
+    program = Program()
+    infos: List[Tuple[_ModuleInfo, ast.Module]] = []
+    for src in modules:
+        dotted = module_dotted_name(root, src.relpath)
+        is_pkg = src.relpath.endswith("__init__.py")
+        mod = _ModuleInfo(dotted, src, is_pkg)
+        program.modules[dotted] = mod
+        infos.append((mod, src.tree))
+
+    for mod, tree in infos:          # pass 1: symbols
+        _index_module(program, mod, tree)
+    for mod, tree in infos:          # pass 2: class tables need pass 1
+        _extract_classes(program, mod, tree)
+    for mod, tree in infos:          # pass 3: function signatures
+        _declare_functions(program, mod, tree)
+    for mod, tree in infos:          # pass 4: function bodies
+        _analyze_module(program, mod, tree)
+
+    _fixpoint(program)
+    _compute_main_side(program)
+    return program
+
+
+# -- pass 1: module symbol tables --------------------------------------------
+
+def _index_module(program: Program, mod: _ModuleInfo,
+                  tree: ast.Module) -> None:
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                mod.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = _import_base(mod, node)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                mod.imports[bound] = f"{base}.{alias.name}" if base \
+                    else alias.name
+        elif isinstance(node, ast.ClassDef):
+            mod.classes[node.name] = f"{mod.dotted}.{node.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            mod.functions[node.name] = f"{mod.dotted}.{node.name}"
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        mod.global_names.add(sub.id)
+
+
+def _import_base(mod: _ModuleInfo, node: ast.ImportFrom) -> str:
+    if not node.level:
+        return node.module or ""
+    parts = mod.dotted.split(".")
+    if not mod.is_package:
+        parts = parts[:-1]
+    parts = parts[:len(parts) - (node.level - 1)] if node.level > 1 else parts
+    base = ".".join(parts)
+    if node.module:
+        base = f"{base}.{node.module}" if base else node.module
+    return base
+
+
+# -- annotation resolution ----------------------------------------------------
+
+def _ann_to_type(program: Program, mod: _ModuleInfo,
+                 node: Optional[ast.expr],
+                 _depth: int = 0) -> Optional[TypeRef]:
+    """Resolve an annotation expression to an in-tree class, unwrapping
+    Optional and mapping container generics to their element type."""
+    if node is None or _depth > 6:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value.strip(), mode="eval").body
+        except SyntaxError:
+            return None
+        return _ann_to_type(program, mod, node, _depth + 1)
+    if isinstance(node, ast.Subscript):
+        head = _dotted_of(node.value)
+        tail = head.rsplit(".", 1)[-1] if head else ""
+        inner = node.slice
+        if isinstance(inner, ast.Index):  # py3.8 compat shape
+            inner = inner.value  # type: ignore[attr-defined]
+        if tail in _UNWRAP or tail == "Union":
+            if isinstance(inner, ast.Tuple):
+                for elt in inner.elts:
+                    got = _ann_to_type(program, mod, elt, _depth + 1)
+                    if got:
+                        return got
+                return None
+            return _ann_to_type(program, mod, inner, _depth + 1)
+        if tail in _CONTAINERS:
+            elts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+            elem = _ann_to_type(program, mod, elts[-1], _depth + 1)
+            if elem:
+                return TypeRef(elem.qname, container=True)
+            return None
+        if head:
+            ext = _external_of(program, mod, node.value)
+            if ext is not None and ext.endswith("Queue"):
+                elem = _ann_to_type(program, mod, inner, _depth + 1)
+                return TypeRef(elem.qname if elem else "", container=True,
+                               queue=True)
+        return None
+    dotted = _dotted_of(node)
+    if not dotted:
+        return None
+    sym = _resolve_dotted_in_module(program, mod, dotted)
+    if sym and sym[0] == "class":
+        return TypeRef(sym[1])
+    return None
+
+
+def _resolve_dotted_in_module(program: Program, mod: _ModuleInfo,
+                              dotted: str):
+    head, _, rest = dotted.partition(".")
+    local = program.resolve_name(mod.dotted, head)
+    if local is None:
+        return None
+    if not rest:
+        return local
+    if local[0] == "module":
+        return program.resolve(f"{local[1]}.{rest}")
+    if local[0] == "external":
+        return ("external", f"{local[1]}.{rest}")
+    if local[0] == "class":
+        meth = program.lookup_method(local[1], rest)
+        return ("func", meth) if meth else None
+    return None
+
+
+def _dotted_of(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _external_of(program: Program, mod: _ModuleInfo,
+                 func: ast.expr) -> Optional[str]:
+    """Dotted external (stdlib) name of a call target, if any."""
+    dotted = _dotted_of(func)
+    if not dotted:
+        return None
+    sym = _resolve_dotted_in_module(program, mod, dotted)
+    if sym and sym[0] == "external":
+        return sym[1]
+    return None
+
+
+# -- pass 2: class tables -----------------------------------------------------
+
+def _extract_classes(program: Program, mod: _ModuleInfo,
+                     tree: ast.Module) -> None:
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        qname = mod.classes[node.name]
+        cls = ClassInfo(qname=qname, module=mod.dotted,
+                        relpath=mod.src.relpath, line=node.lineno,
+                        name=node.name)
+        for base in node.bases:
+            dotted = _dotted_of(base)
+            if dotted:
+                sym = _resolve_dotted_in_module(program, mod, dotted)
+                if sym and sym[0] == "class":
+                    cls.bases.append(sym[1])
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods[item.name] = f"{qname}.{item.name}"
+            elif isinstance(item, ast.AnnAssign) and \
+                    isinstance(item.target, ast.Name):
+                cls.fields.append((item.target.id, item.annotation))
+                got = _ann_to_type(program, mod, item.annotation)
+                if got:
+                    cls.attr_types[item.target.id] = got
+        program.classes[qname] = cls
+
+    # second sweep: __init__-style attribute assignments need the class
+    # table of *other* classes only at pass 3; here we only need
+    # constructor names and annotations, both local.
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        cls = program.classes[mod.classes[node.name]]
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _scan_attr_assigns(program, mod, cls, item)
+
+
+def _scan_attr_assigns(program: Program, mod: _ModuleInfo, cls: ClassInfo,
+                       fn: ast.AST) -> None:
+    """Type ``self.X = ...`` sites: annotations, constructors, locks."""
+    ann_params: Dict[str, Optional[TypeRef]] = {}
+    args = fn.args  # type: ignore[attr-defined]
+    for a in list(args.posonlyargs) + list(args.args) + \
+            list(args.kwonlyargs):
+        ann_params[a.arg] = _ann_to_type(program, mod, a.annotation)
+    for node in ast.walk(fn):  # type: ignore[arg-type]
+        target = None
+        value = None
+        ann = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value, ann = node.target, node.value, node.annotation
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            continue
+        attr = target.attr
+        if ann is not None:
+            got = _ann_to_type(program, mod, ann)
+            if got:
+                cls.attr_types.setdefault(attr, got)
+        fn_qname = f"{cls.qname}.{fn.name}"  # type: ignore[attr-defined]
+        _type_attr_value(program, mod, cls, attr, value, ann_params,
+                         fn_qname)
+
+
+def _type_attr_value(program: Program, mod: _ModuleInfo, cls: ClassInfo,
+                     attr: str, value: Optional[ast.expr],
+                     ann_params: Dict[str, Optional[TypeRef]],
+                     fn_qname: str, _depth: int = 0) -> None:
+    if value is None or _depth > 3:
+        return
+    if isinstance(value, ast.BoolOp):
+        for operand in value.values:
+            _type_attr_value(program, mod, cls, attr, operand, ann_params,
+                             fn_qname, _depth + 1)
+        return
+    if isinstance(value, ast.Call):
+        ext = _external_of(program, mod, value.func)
+        if ext in _LOCK_CTORS:
+            cls.lock_attrs.add(attr)
+            return
+        if ext == _COND_CTOR:
+            cls.lock_attrs.add(attr)
+            if value.args and isinstance(value.args[0], ast.Attribute) \
+                    and isinstance(value.args[0].value, ast.Name) \
+                    and value.args[0].value.id == "self":
+                cls.cond_alias[attr] = value.args[0].attr
+            return
+        if ext in ("list", "dict", "set", "tuple", "sorted") \
+                and value.args and isinstance(value.args[0], ast.Name):
+            got = ann_params.get(value.args[0].id)
+            if got and got.container:
+                cls.attr_types.setdefault(attr, got)
+            return
+        dotted = _dotted_of(value.func)
+        if dotted:
+            sym = _resolve_dotted_in_module(program, mod, dotted)
+            if sym and sym[0] == "class":
+                cls.attr_types.setdefault(attr, TypeRef(sym[1]))
+        return
+    if isinstance(value, (ast.ListComp, ast.SetComp)) \
+            and isinstance(value.elt, ast.Call):
+        dotted = _dotted_of(value.elt.func)
+        if dotted:
+            sym = _resolve_dotted_in_module(program, mod, dotted)
+            if sym and sym[0] == "class":
+                cls.attr_types.setdefault(
+                    attr, TypeRef(sym[1], container=True))
+        return
+    if isinstance(value, ast.Name) and value.id in ann_params:
+        got = ann_params[value.id]
+        if got:
+            cls.attr_types.setdefault(attr, got)
+        # a parameter stored on self may carry a callable: record the
+        # flow so dynamic `self.attr(...)` calls resolve in the fixpoint
+        cls.callable_attrs.add(attr)
+        program._attr_flows.append((cls.qname, attr, fn_qname, value.id))
+
+
+# -- pass 3: function signatures ----------------------------------------------
+
+def _declare_one(program: Program, mod: _ModuleInfo, node: ast.AST,
+                 qname: str, cls: Optional[str],
+                 parent: Optional[str]) -> FunctionInfo:
+    info = FunctionInfo(qname=qname, module=mod.dotted,
+                        relpath=mod.src.relpath,
+                        name=node.name,  # type: ignore[attr-defined]
+                        line=node.lineno,  # type: ignore[attr-defined]
+                        cls=cls, parent=parent)
+    args = node.args  # type: ignore[attr-defined]
+    every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    for a in every:
+        info.params.append(a.arg)
+        info.param_ann[a.arg] = _ann_to_type(program, mod, a.annotation)
+    info.returns = _ann_to_type(
+        program, mod, node.returns)  # type: ignore[attr-defined]
+    program.functions[qname] = info
+    return info
+
+
+def _declare_functions(program: Program, mod: _ModuleInfo,
+                       tree: ast.Module) -> None:
+    pseudo = FunctionInfo(qname=f"{mod.dotted}.<module>", module=mod.dotted,
+                          relpath=mod.src.relpath, name="<module>", line=1)
+    program.functions[pseudo.qname] = pseudo
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _declare_one(program, mod, node, f"{mod.dotted}.{node.name}",
+                         cls=None, parent=None)
+        elif isinstance(node, ast.ClassDef):
+            cq = mod.classes[node.name]
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    _declare_one(program, mod, item, f"{cq}.{item.name}",
+                                 cls=cq, parent=None)
+
+
+# -- pass 4: function bodies --------------------------------------------------
+
+def _analyze_module(program: Program, mod: _ModuleInfo,
+                    tree: ast.Module) -> None:
+    # module-level statements form a pseudo-function: a main-side root
+    # whose bindings become the module's typed globals
+    pseudo = program.functions[f"{mod.dotted}.<module>"]
+    top = [stmt for stmt in tree.body
+           if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef, ast.Import,
+                                    ast.ImportFrom))]
+    _Fn(program, mod, pseudo, top, enclosing_cls=None,
+        module_level=True).run()
+    for name, tref in pseudo.locals_type.items():
+        mod.global_types.setdefault(name, tref)
+    mod.global_locks.update(
+        lock[2] for lock in pseudo.locks_acquired if lock[0] == "global")
+    for name in pseudo.locals_ref:
+        if pseudo.locals_ref[name] == ("lockval",):
+            mod.global_locks.add(name)
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = program.functions[f"{mod.dotted}.{node.name}"]
+            _Fn(program, mod, info, node.body, enclosing_cls=None,
+                fn_node=node).run()
+        elif isinstance(node, ast.ClassDef):
+            cls = program.classes[mod.classes[node.name]]
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    info = program.functions[f"{cls.qname}.{item.name}"]
+                    _Fn(program, mod, info, item.body, enclosing_cls=cls,
+                        fn_node=item).run()
+
+
+class _Fn:
+    """Single-pass symbolic interpreter for one function body.
+
+    Walks statements in program order tracking a local environment
+    (value descriptors + types), the stack of held locks, and loop
+    nesting; emits the call/spawn/mutation/load/lock/blocking events
+    the fixpoint and the RL10x checks consume.
+    """
+
+    def __init__(self, program: Program, mod: _ModuleInfo,
+                 info: FunctionInfo, body: List[ast.stmt],
+                 enclosing_cls: Optional[ClassInfo],
+                 fn_node: Optional[ast.AST] = None,
+                 module_level: bool = False):
+        self.p = program
+        self.mod = mod
+        self.info = info
+        self.body = body
+        self.cls = enclosing_cls
+        self.module_level = module_level
+        self.locks: List[LockId] = []
+        self.loop_depth = 0
+        self.loop_names: Set[str] = set()
+        self.globals_decl: Set[str] = set()
+        self.nonlocals_decl: Set[str] = set()
+        self.local_names: Set[str] = set(info.params)
+        self.local_locks: Set[str] = set()
+        self.return_refs: List[Ref] = []
+        if fn_node is not None:
+            self._collect_local_names(fn_node)
+        else:
+            for stmt in body:
+                self._collect_local_names(stmt, top=True)
+
+    # -- setup ---------------------------------------------------------------
+    def _collect_local_names(self, node: ast.AST, top: bool = False) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and sub is not node:
+                self.local_names.add(sub.name)
+                # don't descend into nested bodies for locals: ast.walk
+                # already flattened; over-collection of nested locals is
+                # harmless because bindings are program-order anyway
+            elif isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                                  ast.For, ast.withitem, ast.comprehension)):
+                targets: List[ast.expr] = []
+                if isinstance(sub, ast.Assign):
+                    targets = list(sub.targets)
+                elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [sub.target]
+                elif isinstance(sub, ast.For):
+                    targets = [sub.target]
+                elif isinstance(sub, ast.withitem):
+                    targets = [sub.optional_vars] if sub.optional_vars \
+                        else []
+                else:
+                    targets = [sub.target]
+                for t in targets:
+                    for name_node in ast.walk(t):
+                        if isinstance(name_node, ast.Name):
+                            self.local_names.add(name_node.id)
+
+    def run(self) -> None:
+        for stmt in self.body:
+            self._stmt(stmt)
+        fresh_tags = ("fresh", "clean", "extracted")
+        self.info.returns_fresh = bool(self.return_refs) and all(
+            ref[0] in fresh_tags for ref in self.return_refs)
+        self.info.return_refs = self.return_refs[:16]
+
+    # -- statements ----------------------------------------------------------
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            q = f"{self.info.qname}.{node.name}"
+            nested = _declare_one(self.p, self.mod, node, q, cls=None,
+                                  parent=self.info.qname)
+            nested.cls = self.cls.qname if self.cls else None
+            self.info.locals_ref[node.name] = ("func", q)
+            _Fn(self.p, self.mod, nested, node.body, self.cls,
+                fn_node=node).run()
+        elif isinstance(node, ast.ClassDef):
+            pass                     # function-local classes: out of scope
+        elif isinstance(node, ast.Assign):
+            ref, tref = self._eval(node.value)
+            for target in node.targets:
+                self._assign(target, ref, tref, node)
+        elif isinstance(node, ast.AnnAssign):
+            ann = _ann_to_type(self.p, self.mod, node.annotation)
+            if node.value is not None:
+                ref, tref = self._eval(node.value)
+            else:
+                ref, tref = ("opaque",), None
+            self._assign(node.target, ref, ann or tref, node)
+        elif isinstance(node, ast.AugAssign):
+            self._eval(node.value)
+            self._assign(node.target, ("opaque",), None, node,
+                         kind="augassign")
+        elif isinstance(node, ast.Expr):
+            self._eval(node.value)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                ref, _ = self._eval(node.value)
+                self.return_refs.append(ref)
+        elif isinstance(node, ast.With):
+            self._with(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._for(node)
+        elif isinstance(node, ast.While):
+            self._eval(node.test)
+            self.loop_depth += 1
+            for stmt in node.body:
+                self._stmt(stmt)
+            self.loop_depth -= 1
+            for stmt in node.orelse:
+                self._stmt(stmt)
+        elif isinstance(node, ast.If):
+            self._eval(node.test)
+            for stmt in node.body + node.orelse:
+                self._stmt(stmt)
+        elif isinstance(node, ast.Try):
+            for stmt in node.body:
+                self._stmt(stmt)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._stmt(stmt)
+            for stmt in node.orelse + node.finalbody:
+                self._stmt(stmt)
+        elif isinstance(node, ast.Global):
+            self.globals_decl.update(node.names)
+            self.local_names.difference_update(node.names)
+        elif isinstance(node, ast.Nonlocal):
+            self.nonlocals_decl.update(node.names)
+            self.local_names.difference_update(node.names)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, ast.expr):
+                    self._eval(sub)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    self._mutate_via_expr(target.value, node, kind="item")
+        # Pass/Break/Continue/Import: nothing to model
+
+    # -- with / for ----------------------------------------------------------
+    def _with(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            lock = self._lock_of(item.context_expr)
+            if lock is not None:
+                self.p.acquisitions.append(Acquisition(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=item.context_expr.lineno, lock=lock,
+                    held=frozenset(self.locks)))
+                self.info.locks_acquired.add(lock)
+                self.locks.append(lock)
+                pushed += 1
+            else:
+                ref, tref = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, ref, tref, node,
+                                 bind_only=True)
+        for stmt in node.body:
+            self._stmt(stmt)
+        for _ in range(pushed):
+            self.locks.pop()
+
+    def _lock_of(self, expr: ast.expr) -> Optional[LockId]:
+        """Identity of the lock entered by ``with expr:``, if any."""
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name) and base.id == "self" \
+                    and self.cls is not None:
+                norm = self.p.lock_attr(self.cls.qname, expr.attr)
+                if norm:
+                    return ("attr", self.cls.qname, norm)
+                return None
+            _, btype = self._eval(base)
+            if btype is not None and not btype.container:
+                norm = self.p.lock_attr(btype.qname, expr.attr)
+                if norm:
+                    return ("attr", btype.qname, norm)
+            return None
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in self.local_locks:
+                return ("local", self.info.qname, name)
+            if name in self.local_names:
+                return None
+            owner, bound = self.p._free_binding(self.info.qname, name)
+            if owner is not None and bound == ("lockval",):
+                return ("local", owner, name)
+            if name in self.mod.global_locks:
+                return ("global", self.mod.dotted, name)
+        return None
+
+    def _for(self, node) -> None:
+        iref, itype = self._eval(node.iter)
+        elem_type = TypeRef(itype.qname) if itype and itype.container \
+            else None
+        for name_node in ast.walk(node.target):
+            if isinstance(name_node, ast.Name):
+                self.loop_names.add(name_node.id)
+        if isinstance(node.target, ast.Name):
+            self.info.locals_ref[node.target.id] = ("elem", iref)
+            if elem_type:
+                self.info.locals_type[node.target.id] = elem_type
+        else:
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    self.info.locals_ref[name_node.id] = ("elem", iref)
+        self.loop_depth += 1
+        for stmt in node.body:
+            self._stmt(stmt)
+        self.loop_depth -= 1
+        for stmt in node.orelse:
+            self._stmt(stmt)
+
+    # -- assignment targets --------------------------------------------------
+    def _assign(self, target: ast.expr, ref: Ref,
+                tref: Optional[TypeRef], node: ast.stmt,
+                kind: str = "assign", bind_only: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if ref == ("lockval",):
+                self.local_locks.add(name)
+            if name in self.globals_decl and not self.module_level:
+                self.p.mutations.append(MutationSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno,
+                    key=("global", self.mod.dotted, name),
+                    recv=("global", self.mod.dotted, name),
+                    locks=frozenset(self.locks), in_ctor=False,
+                    kind=kind))
+                return
+            if name in self.nonlocals_decl:
+                owner, _ = self.p._free_binding(self.info.qname, name)
+                self.p.mutations.append(MutationSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno,
+                    key=("name", owner or self.info.qname, name),
+                    recv=("free", name),
+                    locks=frozenset(self.locks), in_ctor=False,
+                    kind=kind))
+                return
+            self.info.locals_ref[name] = ref
+            if tref is not None:
+                self.info.locals_type[name] = tref
+            return
+        if isinstance(target, ast.Attribute):
+            self._mutate_attr(target, node, kind=kind)
+            return
+        if isinstance(target, ast.Subscript):
+            self._mutate_via_expr(target.value, node, kind="item")
+            self._eval(target.slice)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, ("opaque",), None, node, kind=kind)
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, ("opaque",), None, node, kind=kind)
+
+    def _mutate_attr(self, target: ast.Attribute, node: ast.stmt,
+                     kind: str) -> None:
+        base = target.value
+        if isinstance(base, ast.Name) and base.id == "self" \
+                and self.cls is not None:
+            self.p.mutations.append(MutationSite(
+                fn=self.info.qname, relpath=self.info.relpath,
+                line=node.lineno,
+                key=("attr", self.cls.qname, target.attr),
+                recv=("self",), locks=frozenset(self.locks),
+                in_ctor=self.info.is_ctor, kind=kind))
+            return
+        bref, btype = self._eval(base)
+        if btype is not None and not btype.container \
+                and btype.qname in self.p.classes:
+            self.p.mutations.append(MutationSite(
+                fn=self.info.qname, relpath=self.info.relpath,
+                line=node.lineno,
+                key=("attr", btype.qname, target.attr),
+                recv=bref, locks=frozenset(self.locks),
+                in_ctor=False, kind=kind))
+
+    def _mutate_via_expr(self, base: ast.expr, node: ast.AST,
+                         kind: str) -> None:
+        """Record a mutation of the object ``base`` evaluates to."""
+        if isinstance(base, ast.Attribute):
+            bref, btype = self._eval(base.value)
+            cls_q: Optional[str] = None
+            recv: Ref = bref
+            if isinstance(base.value, ast.Name) \
+                    and base.value.id == "self" and self.cls is not None:
+                cls_q, recv = self.cls.qname, ("self",)
+            elif btype is not None and not btype.container \
+                    and btype.qname in self.p.classes:
+                cls_q = btype.qname
+            if cls_q is not None:
+                self.p.mutations.append(MutationSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno, key=("attr", cls_q, base.attr),
+                    recv=recv, locks=frozenset(self.locks),
+                    in_ctor=self.info.is_ctor, kind=kind))
+            return
+        if isinstance(base, ast.Name):
+            name = base.id
+            if name in self.local_names or name in self.loop_names:
+                return                      # mutating our own local
+            if name in self.globals_decl or (
+                    not self.module_level
+                    and self.p.resolve_name(self.mod.dotted, name)
+                    == ("global", f"{self.mod.dotted}.{name}")):
+                self.p.mutations.append(MutationSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno,
+                    key=("global", self.mod.dotted, name),
+                    recv=("global", self.mod.dotted, name),
+                    locks=frozenset(self.locks), in_ctor=False,
+                    kind=kind))
+                return
+            owner, _ = self.p._free_binding(self.info.qname, name)
+            if owner is not None:
+                self.p.mutations.append(MutationSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno, key=("name", owner, name),
+                    recv=("free", name),
+                    locks=frozenset(self.locks), in_ctor=False,
+                    kind=kind))
+            return
+        if isinstance(base, ast.Subscript):
+            # d[k].append(v): the mutated object is an element of d —
+            # attribute the mutation to d itself
+            self._mutate_via_expr(base.value, node, kind=kind)
+
+    # -- expressions ---------------------------------------------------------
+    _SKIP_BUILTINS = {
+        "len", "int", "float", "str", "bool", "repr", "hash", "id",
+        "abs", "min", "max", "sum", "round", "any", "all", "range",
+        "enumerate", "zip", "iter", "next", "print", "isinstance",
+        "issubclass", "getattr", "hasattr", "format", "type", "vars",
+        "super", "open", "map", "filter", "reversed", "divmod", "ord",
+        "chr", "callable",
+    }
+    _FRESH_BUILTINS = {"list", "dict", "set", "tuple", "sorted",
+                       "frozenset", "bytearray", "bytes"}
+
+    def _eval(self, expr: Optional[ast.expr]
+              ) -> Tuple[Ref, Optional[TypeRef]]:
+        if expr is None:
+            return ("opaque",), None
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attr(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Constant):
+            return ("fresh",), None
+        if isinstance(expr, (ast.List, ast.Set, ast.Tuple)):
+            for elt in expr.elts:
+                self._eval(elt)
+            return ("fresh",), None
+        if isinstance(expr, ast.Dict):
+            for sub in list(expr.keys) + list(expr.values):
+                if sub is not None:
+                    self._eval(sub)
+            return ("fresh",), None
+        if isinstance(expr, ast.Subscript):
+            bref, btype = self._eval(expr.value)
+            self._eval(expr.slice)
+            etype = TypeRef(btype.qname) if btype and btype.container \
+                else None
+            return ("elem", bref), etype
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            ref_a, type_a = self._eval(expr.body)
+            ref_b, type_b = self._eval(expr.orelse)
+            return ("either", ref_a, ref_b), type_a or type_b
+        if isinstance(expr, ast.BoolOp):
+            refs = [self._eval(v) for v in expr.values]
+            out_ref, out_type = refs[0]
+            for ref, tref in refs[1:]:
+                out_ref = ("either", out_ref, ref)
+                out_type = out_type or tref
+            return out_ref, out_type
+        if isinstance(expr, (ast.BinOp, ast.Compare, ast.UnaryOp)):
+            for sub in ast.iter_child_nodes(expr):
+                if isinstance(sub, ast.expr):
+                    self._eval(sub)
+            return ("opaque",), None
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            return self._eval_comp(expr)
+        if isinstance(expr, ast.Lambda):
+            return ("opaque",), None
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            for val in expr.values:
+                if isinstance(val, ast.FormattedValue):
+                    self._eval(val.value)
+            return ("fresh",), None
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            if expr.value is not None:
+                self._eval(expr.value)
+            return ("opaque",), None
+        if isinstance(expr, ast.NamedExpr):
+            ref, tref = self._eval(expr.value)
+            self._assign(expr.target, ref, tref, expr)
+            return ref, tref
+        if isinstance(expr, ast.Slice):
+            for sub in (expr.lower, expr.upper, expr.step):
+                if sub is not None:
+                    self._eval(sub)
+            return ("opaque",), None
+        return ("opaque",), None
+
+    def _eval_comp(self, expr) -> Tuple[Ref, Optional[TypeRef]]:
+        for gen in expr.generators:
+            iref, itype = self._eval(gen.iter)
+            elem_type = TypeRef(itype.qname) if itype and itype.container \
+                else None
+            for name_node in ast.walk(gen.target):
+                if isinstance(name_node, ast.Name):
+                    self.loop_names.add(name_node.id)
+                    self.info.locals_ref[name_node.id] = ("elem", iref)
+                    if elem_type:
+                        self.info.locals_type[name_node.id] = elem_type
+            for cond in gen.ifs:
+                self._eval(cond)
+        self.loop_depth += 1
+        if isinstance(expr, ast.DictComp):
+            self._eval(expr.key)
+            self._eval(expr.value)
+        else:
+            self._eval(expr.elt)
+        self.loop_depth -= 1
+        # a comprehension of constructor calls yields a fresh container
+        # of that element type
+        elt = expr.value if isinstance(expr, ast.DictComp) else expr.elt
+        etype: Optional[TypeRef] = None
+        if isinstance(elt, ast.Call):
+            dotted = _dotted_of(elt.func)
+            if dotted:
+                sym = _resolve_dotted_in_module(self.p, self.mod, dotted)
+                if sym and sym[0] == "class":
+                    etype = TypeRef(sym[1], container=True)
+        return ("fresh",), etype
+
+    def _eval_name(self, expr: ast.Name) -> Tuple[Ref, Optional[TypeRef]]:
+        name = expr.id
+        if name == "self" and self.cls is not None \
+                and "self" in self.info.params:
+            return ("self",), TypeRef(self.cls.qname)
+        if name in self.info.locals_ref:
+            return self.info.locals_ref[name], \
+                self.info.locals_type.get(name)
+        if name in self.info.params:
+            return ("param", name), self.info.param_ann.get(name)
+        if name in self.local_names or name in self.loop_names:
+            return ("opaque",), None          # assigned later / loop var
+        if self.info.parent is not None:
+            owner, bound = self.p._free_binding(self.info.qname, name)
+            if owner is not None:
+                owner_info = self.p.functions.get(owner)
+                ftype = None
+                if owner_info is not None:
+                    ftype = owner_info.locals_type.get(name) \
+                        or owner_info.param_ann.get(name)
+                return ("free", name), ftype
+        sym = self.p.resolve_name(self.mod.dotted, name)
+        if sym is None:
+            return ("opaque",), None
+        if sym[0] == "func":
+            return ("func", sym[1]), None
+        if sym[0] == "class":
+            return ("cls", sym[1]), None
+        if sym[0] == "module":
+            return ("mod", sym[1]), None
+        if sym[0] == "global":
+            owner_mod, _, gname = sym[1].rpartition(".")
+            owner = self.p.modules.get(owner_mod)
+            gtype = owner.global_types.get(gname) if owner else None
+            key = ("global", owner_mod, gname)
+            if owner is not None and gname in owner.global_names \
+                    and gname not in owner.global_locks:
+                self.p.loads.append(LoadSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=expr.lineno, key=key))
+            return key, gtype
+        return ("opaque",), None
+
+    def _eval_attr(self, expr: ast.Attribute
+                   ) -> Tuple[Ref, Optional[TypeRef]]:
+        dotted = _dotted_of(expr)
+        if dotted and "." in dotted:
+            head = dotted.split(".", 1)[0]
+            if head not in self.info.locals_ref \
+                    and head not in self.info.params \
+                    and head not in self.local_names:
+                sym = _resolve_dotted_in_module(self.p, self.mod, dotted)
+                if sym is not None:
+                    if sym[0] == "func":
+                        return ("func", sym[1]), None
+                    if sym[0] == "class":
+                        return ("cls", sym[1]), None
+                    if sym[0] == "global":
+                        owner_mod, _, gname = sym[1].rpartition(".")
+                        owner = self.p.modules.get(owner_mod)
+                        gtype = owner.global_types.get(gname) \
+                            if owner else None
+                        return ("global", owner_mod, gname), gtype
+                    if sym[0] == "external":
+                        return ("ext", sym[1]), None
+        bref, btype = self._eval(expr.value)
+        attr = expr.attr
+        cls_q: Optional[str] = None
+        if bref == ("self",) and self.cls is not None:
+            cls_q = self.cls.qname
+        elif btype is not None and not btype.container \
+                and btype.qname in self.p.classes:
+            cls_q = btype.qname
+        if cls_q is not None:
+            meth = self.p.lookup_method(cls_q, attr)
+            if meth is not None:
+                return ("bound", bref, meth, self.info.qname), None
+            atype = self.p.attr_type(cls_q, attr)
+            self.p.loads.append(LoadSite(
+                fn=self.info.qname, relpath=self.info.relpath,
+                line=expr.lineno, key=("attr", cls_q, attr)))
+            return ("attr", bref, attr), atype
+        return ("attr", bref, attr), None
+
+    # -- calls ---------------------------------------------------------------
+    def _eval_args(self, node: ast.Call
+                   ) -> List[Tuple[Optional[str], Ref, Optional[TypeRef]]]:
+        out: List[Tuple[Optional[str], Ref, Optional[TypeRef]]] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self._eval(arg.value)
+                continue
+            ref, tref = self._eval(arg)
+            out.append((None, ref, tref))
+        for kw in node.keywords:
+            ref, tref = self._eval(kw.value)
+            if kw.arg is not None:
+                out.append((kw.arg, ref, tref))
+        return out
+
+    def _record_spawn(self, node: ast.Call, target_ref: Ref,
+                      raw_args: List[Tuple[Ref, Optional[TypeRef], bool]],
+                      target_expr: Optional[ast.expr]) -> None:
+        in_loop = self.loop_depth > 0
+        self.info.spawns.append(SpawnSite(
+            fn=self.info.qname, line=node.lineno, target=target_ref,
+            args=raw_args, in_loop=in_loop))
+        display = _dotted_of(target_expr) if target_expr is not None \
+            else None
+        for ref, tref, loop_var in raw_args:
+            self.p.spawn_args.append(SpawnArg(
+                fn=self.info.qname, relpath=self.info.relpath,
+                line=node.lineno, ref=ref, type=tref,
+                loop_var=loop_var, in_loop=in_loop,
+                target=display or "<thread target>"))
+
+    def _spawn_from_thread_ctor(self, node: ast.Call) -> None:
+        target_ref: Ref = ("opaque",)
+        target_expr: Optional[ast.expr] = None
+        raw_args: List[Tuple[Ref, Optional[TypeRef], bool]] = []
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target_expr = kw.value
+                target_ref, _ = self._eval(kw.value)
+            elif kw.arg in ("args", "kwargs"):
+                elts: List[ast.expr] = []
+                if isinstance(kw.value, (ast.Tuple, ast.List)):
+                    elts = list(kw.value.elts)
+                elif isinstance(kw.value, ast.Dict):
+                    elts = [v for v in kw.value.values if v is not None]
+                for elt in elts:
+                    ref, tref = self._eval(elt)
+                    loop_var = isinstance(elt, ast.Name) \
+                        and elt.id in self.loop_names
+                    raw_args.append((ref, tref, loop_var))
+            else:
+                self._eval(kw.value)
+        for arg in node.args:            # positional Thread(group, target)
+            self._eval(arg)
+        self._record_spawn(node, target_ref, raw_args, target_expr)
+
+    def _spawn_from_submit(self, node: ast.Call) -> None:
+        target_ref: Ref = ("opaque",)
+        target_expr: Optional[ast.expr] = None
+        raw_args: List[Tuple[Ref, Optional[TypeRef], bool]] = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self._eval(arg.value)
+                continue
+            ref, tref = self._eval(arg)
+            if index == 0:
+                target_ref, target_expr = ref, arg
+            else:
+                loop_var = isinstance(arg, ast.Name) \
+                    and arg.id in self.loop_names
+                raw_args.append((ref, tref, loop_var))
+        for kw in node.keywords:
+            ref, tref = self._eval(kw.value)
+            loop_var = isinstance(kw.value, ast.Name) \
+                and kw.value.id in self.loop_names
+            raw_args.append((ref, tref, loop_var))
+        self._record_spawn(node, target_ref, raw_args, target_expr)
+
+    def _has_timeout(self, node: ast.Call) -> bool:
+        return bool(node.args) or any(
+            kw.arg == "timeout" for kw in node.keywords)
+
+    def _eval_call(self, node: ast.Call) -> Tuple[Ref, Optional[TypeRef]]:
+        func = node.func
+        dotted = _dotted_of(func)
+        shadowed = False
+        if dotted:
+            head = dotted.split(".", 1)[0]
+            shadowed = (head in self.info.locals_ref
+                        or head in self.info.params
+                        or head in self.local_names
+                        or head in self.loop_names
+                        or (head == "self" and "." in dotted))
+        if dotted and not shadowed:
+            sym = _resolve_dotted_in_module(self.p, self.mod, dotted)
+            if sym is not None and sym[0] == "external":
+                return self._call_external(node, sym[1])
+            if sym is not None and sym[0] == "func":
+                args = self._eval_args(node)
+                info = self.p.functions.get(sym[1])
+                self.info.calls.append(CallSite(
+                    fn=self.info.qname, line=node.lineno, callee=sym[1],
+                    callee_ref=None, recv=None, args=args,
+                    locks=frozenset(self.locks)))
+                return ("call", sym[1]), info.returns if info else None
+            if sym is not None and sym[0] == "class":
+                args = self._eval_args(node)
+                init = self.p.lookup_method(sym[1], "__init__")
+                self.info.calls.append(CallSite(
+                    fn=self.info.qname, line=node.lineno, callee=init,
+                    callee_ref=None, recv=("fresh",), args=args,
+                    locks=frozenset(self.locks)))
+                return ("fresh",), TypeRef(sym[1])
+            if sym is not None and sym[0] == "global":
+                # calling a module-level value (callable global)
+                owner_mod, _, gname = sym[1].rpartition(".")
+                args = self._eval_args(node)
+                self.info.calls.append(CallSite(
+                    fn=self.info.qname, line=node.lineno, callee=None,
+                    callee_ref=("global", owner_mod, gname), recv=None,
+                    args=args, locks=frozenset(self.locks)))
+                return ("opaque",), None
+        if isinstance(func, ast.Name):
+            return self._call_name(node, func.id)
+        if isinstance(func, ast.Attribute):
+            return self._call_method(node, func)
+        self._eval(func)
+        self._eval_args(node)
+        return ("opaque",), None
+
+    def _call_external(self, node: ast.Call,
+                       ext: str) -> Tuple[Ref, Optional[TypeRef]]:
+        if ext in _SANITIZERS:
+            args = self._eval_args(node)
+            tref = args[0][2] if args else None
+            return ("clean",), tref
+        if ext == _THREAD_CTOR:
+            self._spawn_from_thread_ctor(node)
+            return ("fresh",), None
+        if ext in _EXECUTOR_CTORS:
+            self._eval_args(node)
+            return ("fresh",), TypeRef("@executor")
+        if ext in _LOCK_CTORS:
+            self._eval_args(node)
+            return ("lockval",), None
+        if ext == _COND_CTOR:
+            self._eval_args(node)
+            return ("lockval",), None
+        if ext == "time.sleep":
+            self._eval_args(node)
+            if self.locks:
+                self.p.blocking.append(BlockingSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno, locks=frozenset(self.locks),
+                    what="time.sleep"))
+            return ("fresh",), None
+        args = self._eval_args(node)
+        if ext.endswith(".Queue") or ext in ("queue.Queue",
+                                             "queue.PriorityQueue",
+                                             "queue.LifoQueue"):
+            elem = next((a[2].qname for a in args
+                         if a[2] is not None), None)
+            return ("fresh",), TypeRef(elem or "@unknown",
+                                       container=True, queue=True)
+        self.info.calls.append(CallSite(
+            fn=self.info.qname, line=node.lineno, callee=None,
+            callee_ref=None, recv=None, args=args,
+            locks=frozenset(self.locks), external=ext))
+        return ("fresh",), None
+
+    def _call_name(self, node: ast.Call,
+                   name: str) -> Tuple[Ref, Optional[TypeRef]]:
+        if name in self._FRESH_BUILTINS:
+            args = self._eval_args(node)
+            tref = args[0][2] if args else None
+            if tref is not None and tref.container:
+                return ("fresh",), TypeRef(tref.qname, container=True)
+            return ("fresh",), None
+        if name in self._SKIP_BUILTINS:
+            self._eval_args(node)
+            return ("opaque",), None
+        ref, _ = self._eval_name(ast.copy_location(
+            ast.Name(id=name, ctx=ast.Load()), node))
+        args = self._eval_args(node)
+        if ref[0] == "func":
+            self.info.calls.append(CallSite(
+                fn=self.info.qname, line=node.lineno, callee=ref[1],
+                callee_ref=None, recv=None, args=args,
+                locks=frozenset(self.locks)))
+            info = self.p.functions.get(ref[1])
+            return ("call", ref[1]), info.returns if info else None
+        if ref[0] == "cls":
+            init = self.p.lookup_method(ref[1], "__init__")
+            self.info.calls.append(CallSite(
+                fn=self.info.qname, line=node.lineno, callee=init,
+                callee_ref=None, recv=("fresh",), args=args,
+                locks=frozenset(self.locks)))
+            return ("fresh",), TypeRef(ref[1])
+        if ref[0] in ("param", "free", "bound", "attr", "global",
+                      "either", "elem", "call"):
+            self.info.calls.append(CallSite(
+                fn=self.info.qname, line=node.lineno, callee=None,
+                callee_ref=ref, recv=None, args=args,
+                locks=frozenset(self.locks)))
+            return ("opaque",), None
+        return ("opaque",), None
+
+    def _call_method(self, node: ast.Call,
+                     func: ast.Attribute) -> Tuple[Ref, Optional[TypeRef]]:
+        attr = func.attr
+        bref, btype = self._eval(func.value)
+        cls_q: Optional[str] = None
+        if bref == ("self",) and self.cls is not None:
+            cls_q = self.cls.qname
+        elif btype is not None and not btype.container \
+                and btype.qname in self.p.classes:
+            cls_q = btype.qname
+        if btype is not None and btype.qname == "@executor" \
+                and attr in ("submit", "map"):
+            self._spawn_from_submit(node)
+            return ("fresh",), None
+        if btype is not None and btype.queue and attr == "get":
+            self._eval_args(node)
+            if self.locks and not self._has_timeout(node):
+                self.p.blocking.append(BlockingSite(
+                    fn=self.info.qname, relpath=self.info.relpath,
+                    line=node.lineno, locks=frozenset(self.locks),
+                    what="queue.get"))
+            elem = None if btype.qname == "@unknown" \
+                else TypeRef(btype.qname)
+            return ("extracted",), elem
+        if cls_q is not None:
+            meth = self.p.lookup_method(cls_q, attr)
+            if meth is not None:
+                args = self._eval_args(node)
+                self.info.calls.append(CallSite(
+                    fn=self.info.qname, line=node.lineno, callee=meth,
+                    callee_ref=None, recv=bref, args=args,
+                    locks=frozenset(self.locks)))
+                info = self.p.functions.get(meth)
+                return ("call", meth), info.returns if info else None
+            holder = self.p.classes.get(cls_q)
+            if holder is not None and attr in holder.callable_attrs:
+                args = self._eval_args(node)
+                self.info.calls.append(CallSite(
+                    fn=self.info.qname, line=node.lineno, callee=None,
+                    callee_ref=("attrcall", cls_q, attr), recv=bref,
+                    args=args, locks=frozenset(self.locks)))
+                return ("opaque",), None
+        if attr in _MUTATORS:
+            self._mutate_via_expr(func.value, node, kind="call")
+        args = self._eval_args(node)
+        if attr in _EXTRACTORS:
+            elem = TypeRef(btype.qname) if btype and btype.container \
+                else None
+            return ("extracted",), elem
+        if attr in _BLOCKING_METHODS and not node.args \
+                and not self._has_timeout(node) and self.locks:
+            self.p.blocking.append(BlockingSite(
+                fn=self.info.qname, relpath=self.info.relpath,
+                line=node.lineno, locks=frozenset(self.locks),
+                what=f".{attr}()"))
+        # unresolved method call: raw material for the escape rule
+        if args:
+            self.info.calls.append(CallSite(
+                fn=self.info.qname, line=node.lineno, callee=None,
+                callee_ref=None, recv=bref, args=args,
+                locks=frozenset(self.locks), external=f"?.{attr}"))
+        return ("opaque",), None
+
+
+# -- fixpoint ------------------------------------------------------------------
+
+def _callee_targets(program: Program, ref: Ref, fn: str,
+                    _depth: int = 0
+                    ) -> List[Tuple[str, Optional[Ref], str]]:
+    """Resolve a callable-valued ref to ``(callee, recv_ref, origin_fn)``.
+
+    ``origin_fn`` is the function in whose context ``recv_ref`` must be
+    taint-evaluated (bound-method handles carry their capture site).
+    """
+    if _depth > 8 or not isinstance(ref, tuple) or not ref:
+        return []
+    tag = ref[0]
+    if tag == "func":
+        return [(ref[1], None, fn)]
+    if tag == "bound":
+        return [(ref[2], ref[1], ref[3])]
+    if tag == "param":
+        return list(program._callable_sets.get((fn, ref[1]), ()))
+    if tag == "free":
+        owner, bound = program._free_binding(fn, ref[1])
+        if owner is None:
+            return []
+        return _callee_targets(program, bound, owner, _depth + 1)
+    if tag == "attrcall":
+        return list(program._attr_callables.get((ref[1], ref[2]), ()))
+    if tag == "attr":
+        base = ref[1]
+        cls_q: Optional[str] = None
+        if base == ("self",):
+            info = program.functions.get(fn)
+            cls_q = info.cls if info else None
+        if cls_q is not None:
+            return list(program._attr_callables.get((cls_q, ref[2]), ()))
+        return []
+    if tag == "either":
+        return (_callee_targets(program, ref[1], fn, _depth + 1)
+                + _callee_targets(program, ref[2], fn, _depth + 1))
+    if tag == "call":
+        return []
+    return []
+
+
+class _FixpointState:
+    def __init__(self, program: Program):
+        self.p = program
+        self.changed = False
+
+    def mark_thread(self, qname: str, entry: bool = False) -> None:
+        info = self.p.functions.get(qname)
+        if info is None:
+            return
+        if qname not in self.p.thread_side:
+            self.p.thread_side.add(qname)
+            self.changed = True
+        if entry and not info.is_entrypoint:
+            info.is_entrypoint = True
+            self.changed = True
+
+    def join_self(self, qname: str, taint: int) -> None:
+        cur = self.p._self_taint.get(qname, CONFINED)
+        new = max(cur, taint)
+        if new != cur:
+            self.p._self_taint[qname] = new
+            self.changed = True
+
+    def join_param(self, qname: str, pname: str, taint: int) -> None:
+        key = (qname, pname)
+        cur = self.p._param_taint.get(key, CLEAN)
+        new = max(cur, taint)
+        if new != cur or key not in self.p._param_taint:
+            if new != cur:
+                self.changed = True
+            self.p._param_taint[key] = new
+
+    def flow_callables(self, qname: str, pname: str,
+                       targets) -> None:
+        if not targets:
+            return
+        dest = self.p._callable_sets.setdefault((qname, pname), set())
+        before = len(dest)
+        dest.update(targets)
+        if len(dest) != before:
+            self.changed = True
+
+
+def _bind_call(state: _FixpointState, caller: str, call: CallSite,
+               callee_q: str, taint_args: bool) -> None:
+    """Flow one call edge: callable values always, taints when the
+    caller is on the thread side."""
+    program = state.p
+    info = program.functions.get(callee_q)
+    if info is None:
+        return
+    params = info.params
+    skip = 1 if params and params[0] in ("self", "cls") else 0
+    positional = [a for a in call.args if a[0] is None]
+    for index, (_, ref, _tref) in enumerate(positional):
+        pindex = skip + index
+        if pindex >= len(params):
+            break
+        pname = params[pindex]
+        state.flow_callables(callee_q, pname,
+                             _callee_targets(program, ref, caller))
+        if taint_args:
+            state.join_param(callee_q, pname,
+                             program.taint(ref, caller))
+    for name, ref, _tref in call.args:
+        if name is None or name not in params:
+            continue
+        state.flow_callables(callee_q, name,
+                             _callee_targets(program, ref, caller))
+        if taint_args:
+            state.join_param(callee_q, name,
+                             program.taint(ref, caller))
+
+
+def _bind_spawn(state: _FixpointState, fn: FunctionInfo,
+                spawn: SpawnSite) -> None:
+    program = state.p
+    for callee_q, recv_ref, origin in _callee_targets(
+            program, spawn.target, fn.qname):
+        state.mark_thread(callee_q, entry=True)
+        if recv_ref is not None:
+            base = program.taint(recv_ref, origin)
+            state.join_self(callee_q,
+                            CLEAN if base == CLEAN else SHARED)
+        info = program.functions.get(callee_q)
+        if info is None:
+            continue
+        params = info.params
+        skip = 1 if recv_ref is not None and params \
+            and params[0] in ("self", "cls") else 0
+        for index, (ref, _tref, loop_var) in enumerate(spawn.args):
+            pindex = skip + index
+            if pindex >= len(params):
+                break
+            pname = params[pindex]
+            state.flow_callables(callee_q, pname,
+                                 _callee_targets(program, ref, fn.qname))
+            if loop_var:
+                taint = CONFINED
+            elif spawn.in_loop:
+                taint = SHARED
+            else:
+                taint = program.taint(ref, fn.qname)
+            state.join_param(callee_q, pname, taint)
+
+
+def _fixpoint(program: Program) -> None:
+    for _round in range(60):
+        state = _FixpointState(program)
+        for fn in program.functions.values():
+            caller_threaded = fn.qname in program.thread_side
+            for spawn in fn.spawns:
+                _bind_spawn(state, fn, spawn)
+            for call in fn.calls:
+                if call.callee is not None:
+                    if caller_threaded:
+                        state.mark_thread(call.callee)
+                        if call.recv is not None:
+                            state.join_self(
+                                call.callee,
+                                program.taint(call.recv, fn.qname))
+                    _bind_call(state, fn.qname, call, call.callee,
+                               taint_args=caller_threaded)
+                elif call.callee_ref is not None:
+                    for callee_q, recv_ref, origin in _callee_targets(
+                            program, call.callee_ref, fn.qname):
+                        if caller_threaded:
+                            state.mark_thread(callee_q)
+                            if recv_ref is not None:
+                                base = program.taint(recv_ref, origin)
+                                if origin != fn.qname and base != CLEAN:
+                                    base = SHARED
+                                state.join_self(callee_q, base)
+                        _bind_call(state, fn.qname, call, callee_q,
+                                   taint_args=caller_threaded)
+                elif caller_threaded:
+                    # unresolved call leaving the model: any shared,
+                    # in-tree-typed argument escapes to unknown code
+                    for _name, ref, tref in call.args:
+                        if tref is None or tref.container:
+                            continue
+                        if tref.qname not in program.classes:
+                            continue
+                        if program.taint(ref, fn.qname) != SHARED:
+                            continue
+                        if tref.qname not in program.escaped_classes:
+                            program.escaped_classes.add(tref.qname)
+                            state.changed = True
+        for cls_q in list(program.escaped_classes):
+            cls = program.classes.get(cls_q)
+            if cls is None:
+                continue
+            for meth_q in cls.methods.values():
+                state.mark_thread(meth_q)
+                state.join_self(meth_q, SHARED)
+        for cls_q, attr, init_fn, pname in program._attr_flows:
+            targets = program._callable_sets.get((init_fn, pname))
+            if not targets:
+                continue
+            dest = program._attr_callables.setdefault((cls_q, attr),
+                                                      set())
+            before = len(dest)
+            dest.update(targets)
+            if len(dest) != before:
+                state.changed = True
+        program._unsafe_cache.clear()
+        if not state.changed:
+            break
+
+
+# -- main side -----------------------------------------------------------------
+
+def _compute_main_side(program: Program) -> None:
+    """BFS from call-graph roots along *call* edges (spawn edges are
+    exactly what separates the main side from the thread side)."""
+    callers: Dict[str, Set[str]] = {}
+    spawn_targets: Set[str] = set()
+    edges: Dict[str, Set[str]] = {}
+    for fn in program.functions.values():
+        out = edges.setdefault(fn.qname, set())
+        for call in fn.calls:
+            targets: List[str] = []
+            if call.callee is not None:
+                targets = [call.callee]
+            elif call.callee_ref is not None:
+                targets = [t[0] for t in _callee_targets(
+                    program, call.callee_ref, fn.qname)]
+            for target in targets:
+                if target in program.functions:
+                    out.add(target)
+                    callers.setdefault(target, set()).add(fn.qname)
+        for spawn in fn.spawns:
+            for target, _recv, _origin in _callee_targets(
+                    program, spawn.target, fn.qname):
+                spawn_targets.add(target)
+
+    roots = [q for q, info in program.functions.items()
+             if info.name == "<module>"
+             or (q not in spawn_targets and not callers.get(q))]
+    seen: Set[str] = set()
+    frontier = list(roots)
+    while frontier:
+        qname = frontier.pop()
+        if qname in seen:
+            continue
+        seen.add(qname)
+        for nxt in edges.get(qname, ()):
+            if nxt not in seen and nxt not in spawn_targets:
+                frontier.append(nxt)
+    program.main_side = seen

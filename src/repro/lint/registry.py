@@ -22,6 +22,8 @@ class LintCheck:
     name: str = ""
     description: str = ""
     severity: str = SEVERITY_ERROR
+    #: short illustrative snippet for ``repro lint explain <id>``
+    example: str = ""
 
     def visit_module(self, module: "ModuleSource",  # noqa: F821
                      ctx: "LintContext") -> None:  # noqa: F821

@@ -257,11 +257,16 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        # registries are shared (the process registry, a runtime's):
+        # the name-uniqueness check-then-insert must be atomic
+        self._reg_lock = threading.Lock()
 
     def register(self, metric: Metric) -> Metric:
-        if metric.name in self._metrics:
-            raise ValueError(f"metric {metric.name!r} already registered")
-        self._metrics[metric.name] = metric
+        with self._reg_lock:
+            if metric.name in self._metrics:
+                raise ValueError(
+                    f"metric {metric.name!r} already registered")
+            self._metrics[metric.name] = metric
         return metric
 
     def counter(self, name: str, help_text: str = "",
@@ -351,9 +356,6 @@ class RuntimeMetrics:
         sole hot-path writer of these instruments; everything else
         (runner counters, user code) goes through the validated APIs.
         """
-        key = self._cat_keys.get(category)
-        if key is None:
-            key = self._cat_keys.setdefault(category, (category,))
         # poisoned counters can be NaN/negative; clamp off-trace
         if not (flops == flops and flops > 0.0):
             flops = 0.0
@@ -361,6 +363,9 @@ class RuntimeMetrics:
             nbytes = 0.0
         hist = self.op_latency
         with self._op_lock:
+            key = self._cat_keys.get(category)
+            if key is None:
+                key = self._cat_keys.setdefault(category, (category,))
             values = self.ops_total._values
             values[key] = values.get(key, 0.0) + 1.0
             values = self.flops_total._values

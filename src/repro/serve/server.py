@@ -159,6 +159,7 @@ class InferenceServer:
         ]
         self.pool = WorkerPool(self.workers, runtime=self.config.runtime)
         self._modeled: Dict[Tuple[object, str], float] = {}
+        self._modeled_lock = threading.Lock()
         # live-mode machinery (built by start())
         self._queue: Optional[RequestQueue] = None
         self._batcher: Optional[LiveBatcher] = None
@@ -182,9 +183,15 @@ class InferenceServer:
         if trace is None:
             return 0.0
         key = (result.batch.key, device.name)
-        if key not in self._modeled:
-            self._modeled[key] = latency_breakdown(trace, device).total_time
-        return self._modeled[key]
+        with self._modeled_lock:
+            cached = self._modeled.get(key)
+        if cached is not None:
+            return cached
+        # compute outside the lock: identical keys yield identical
+        # values, so a racing double-compute is wasted work, not a bug
+        value = latency_breakdown(trace, device).total_time
+        with self._modeled_lock:
+            return self._modeled.setdefault(key, value)
 
     # -- deterministic schedule mode -----------------------------------------
     def run_schedule(self, schedule: Sequence[Request]) -> ServeReport:

@@ -21,6 +21,7 @@ batched symbolic workload can span.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.core.report import format_time, render_table
@@ -82,13 +83,17 @@ class ServerStats:
             "repro_serve_cache_misses", "artifact cache misses")
         self.cache_evictions = reg.gauge(
             "repro_serve_cache_evictions", "artifact cache evictions")
+        # plain counters shared between worker threads (record_*) and
+        # the main thread (summary); metric instruments lock internally
+        self._agg_lock = threading.Lock()
         self._batch_sizes: Dict[int, int] = {}
         self._responses = 0
         self.wall_elapsed = 0.0   # measured section only
 
     # -- recording -----------------------------------------------------------
     def record_response(self, response: Response) -> None:
-        self._responses += 1
+        with self._agg_lock:
+            self._responses += 1
         self.requests.inc(workload=response.workload,
                           status=response.status)
         if response.status == STATUS_REJECTED:
@@ -107,8 +112,9 @@ class ServerStats:
         batch = result.batch
         self.batches.inc(workload=batch.workload)
         self.batched_requests.inc(batch.size, workload=batch.workload)
-        self._batch_sizes[batch.size] = \
-            self._batch_sizes.get(batch.size, 0) + 1
+        with self._agg_lock:
+            self._batch_sizes[batch.size] = \
+                self._batch_sizes.get(batch.size, 0) + 1
         self.execute_wall.observe(result.wall, workload=batch.workload)
 
     def record_queue(self, peak_depth: int) -> None:
@@ -159,21 +165,24 @@ class ServerStats:
     def summary(self) -> Dict[str, object]:
         """Two-section stats dump; see module docstring for the split."""
         counts = self._status_counts()
-        processed = self._responses - counts[STATUS_REJECTED]
+        with self._agg_lock:
+            responses = self._responses
+            batch_sizes = dict(self._batch_sizes)
+        processed = responses - counts[STATUS_REJECTED]
         rejections = {key[0]: int(value)
                       for key, value in self.rejections.samples()}
         deterministic: Dict[str, object] = {
-            "requests": self._responses,
+            "requests": responses,
             "statuses": counts,
-            "rejection_rate": (counts[STATUS_REJECTED] / self._responses
-                               if self._responses else 0.0),
+            "rejection_rate": (counts[STATUS_REJECTED] / responses
+                               if responses else 0.0),
             "rejections": rejections,
             "deadline_exceeded": int(self.deadline_misses.total()),
             "batches": int(self.batches.total()),
             "mean_batch_size": (processed / self.batches.total()
                                 if self.batches.total() else 0.0),
             "batch_size_hist": {str(size): count for size, count
-                                in sorted(self._batch_sizes.items())},
+                                in sorted(batch_sizes.items())},
             "queue_depth_peak": int(self.queue_peak.value()),
             "queue_wait": self._quantile_block(self.queue_wait),
             "latency": self._quantile_block(self.e2e_latency),

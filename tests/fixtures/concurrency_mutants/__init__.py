@@ -1,0 +1,10 @@
+"""Seeded mutants reproducing the two races PR 6's fuzzer caught.
+
+These modules are *fixtures*, never imported by the test suite: they
+re-introduce, in miniature, the two concurrency bugs the chaos fuzzer
+found dynamically in ``repro.serve`` — a ``FaultPlan`` shared across
+worker threads (``pool_race``) and a shared batch board mutated
+without a lock (``queue_race``).  ``tests/test_lint_concurrency.py``
+runs the RL100-series analyzer over this directory and asserts both
+are flagged statically: the shift-left proof.
+"""

@@ -1,0 +1,29 @@
+"""Miniature of ``repro.resilience.faults.FaultPlan``: stateful and
+lock-free, so sharing one instance across threads is a data race."""
+
+
+class MiniFaultSpec:
+    def __init__(self, kind: str, rate: float):
+        self.kind = kind
+        self.rate = rate
+
+
+class MiniFaultPlan:
+    """Tracks injection counts like the real plan — mutable state
+    with no internal lock."""
+
+    def __init__(self, spec: MiniFaultSpec):
+        self.spec = spec
+        self.injected = 0
+        self.cursor = 0.0
+
+    def should_fire(self, seed: int) -> bool:
+        self.cursor = (self.cursor + self.spec.rate * (seed + 1)) % 1.0
+        if self.cursor < self.spec.rate:
+            self.injected += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.injected = 0
+        self.cursor = 0.0

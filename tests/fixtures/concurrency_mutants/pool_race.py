@@ -1,0 +1,30 @@
+"""Mutant A — the PR 6 ``FaultPlan`` race, re-seeded.
+
+One :class:`~concurrency_mutants.faults.MiniFaultPlan` is handed to
+every worker thread while the spawner keeps (and later mutates) its
+own reference.  The fixed production code deep-copies the plan per
+worker; this mutant drops the copy, so RL103 must flag the spawn.
+"""
+
+import threading
+
+from .faults import MiniFaultPlan, MiniFaultSpec
+
+
+def _worker(wid: int, plan: MiniFaultPlan) -> None:
+    for step in range(8):
+        plan.should_fire(wid * 31 + step)
+
+
+def run_workers(count: int) -> int:
+    plan = MiniFaultPlan(MiniFaultSpec("nan", 0.5))
+    threads = []
+    for wid in range(count):
+        thread = threading.Thread(target=_worker, args=(wid, plan))
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    injected = plan.injected
+    plan.reset()                     # spawner still mutates the plan
+    return injected

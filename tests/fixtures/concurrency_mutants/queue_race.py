@@ -1,0 +1,32 @@
+"""Mutant B — the PR 6 shared-batch-queue race, re-seeded.
+
+Worker threads post batch results onto one shared board with no lock
+while the main thread reads the board after the join.  The production
+fix routed results through a locked sink; this mutant posts straight
+into the shared dict, so RL101 must flag ``BatchBoard.results``.
+"""
+
+import threading
+
+
+class BatchBoard:
+    """Collects per-worker batch outcomes (no internal lock)."""
+
+    def __init__(self) -> None:
+        self.results = {}
+        self.posted = 0
+
+    def post(self, wid: int, value: int) -> None:
+        self.results[wid] = value
+        self.posted += 1
+
+
+def run_batches(count: int) -> list:
+    board = BatchBoard()
+    threads = [threading.Thread(target=board.post, args=(wid, wid * 2))
+               for wid in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return sorted(board.results.values())[: board.posted]

@@ -633,7 +633,9 @@ class TestShippedTreeIsClean:
         with every check active and no baseline entries."""
         result = run_lint(LintConfig(root=default_scan_root()))
         assert result.checks_run == ("RL001", "RL002", "RL003",
-                                     "RL004", "RL005")
+                                     "RL004", "RL005", "RL101",
+                                     "RL102", "RL103", "RL104",
+                                     "RL105")
         assert result.findings == []
 
     def test_shipped_baseline_is_empty(self):
