@@ -33,6 +33,8 @@ from repro.resilience.faults import (FAULT_ALLOC, FAULT_INF, FAULT_LATENCY,
 from repro.serve import (AdmissionPolicy, BatchPolicy, InferenceServer,
                          REJECT_REASONS, REQUEST_STATUSES, Request, Response,
                          STATUS_REJECTED, ServeConfig, make_request)
+from repro.serve.tracing import (request_span_trees, span_tree_digest,
+                                 verify_span_trees)
 
 #: cheap parameterizations so a chaos run costs milliseconds per request
 _CHAOS_WORKLOADS: Tuple[Tuple[str, Dict[str, object]], ...] = (
@@ -180,6 +182,21 @@ def deterministic_digest(responses: Sequence[Response]) -> str:
     return digest.hexdigest()
 
 
+def check_trace_invariants(responses: Sequence[Response]) -> List[str]:
+    """Trace-tree invariants: every response reconstructs causally.
+
+    Each non-rejected request must yield a rooted, gap-free span tree
+    (admit → queue_wait/assemble → dispatch → execute tiling the
+    ``serve:request`` root) and each rejected request a
+    ``serve:admit`` span carrying its classified rejection reason —
+    all checked by :func:`repro.serve.tracing.verify_span_trees` on
+    the synthesized trees.
+    """
+    return [f"trace: {problem}"
+            for problem in verify_span_trees(request_span_trees(responses),
+                                             responses)]
+
+
 def run_chaos_schedule(config: ChaosConfig) -> ChaosReport:
     """Deterministic-mode chaos: run the schedule twice, cross-check."""
     report = ChaosReport(config=config)
@@ -189,6 +206,18 @@ def run_chaos_schedule(config: ChaosConfig) -> ChaosReport:
     second = _server(config, plans_two).run_schedule(schedule_two)
 
     report.issues.extend(check_serve_invariants(schedule, first.responses))
+    # trace-tree invariants run on BOTH runs: the tree itself must be
+    # well-formed and bit-identical across identical seeded runs
+    report.issues.extend(check_trace_invariants(first.responses))
+    report.issues.extend(
+        f"[run2] {issue}"
+        for issue in check_trace_invariants(second.responses))
+    tree_one = span_tree_digest(request_span_trees(first.responses))
+    tree_two = span_tree_digest(request_span_trees(second.responses))
+    if tree_one != tree_two:
+        report.issues.append(
+            f"trace-tree digest differs across identical seeded runs "
+            f"({tree_one[:12]} vs {tree_two[:12]})")
     digest_one = deterministic_digest(first.responses)
     digest_two = deterministic_digest(second.responses)
     report.digest = digest_one

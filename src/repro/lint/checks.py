@@ -494,22 +494,24 @@ class Determinism(LintCheck):
 _PRIVATE_CONTEXT_NAMES: Set[str] = {"_ctx_stack", "_fault_stack",
                                     "_observer_stack",
                                     "_span_stack", "_collector_stack",
-                                    "_runtime_stack", "_worker_stack"}
+                                    "_runtime_stack", "_worker_stack",
+                                    "_trace_stack"}
 #: modules that legitimately own a thread-local stack (exempt)
 _CONTEXT_MODULES: Tuple[str, ...] = ("tensor/context.py",
                                      "obs/spans.py", "obs/metrics.py",
-                                     "serve/pool.py")
+                                     "obs/tracectx.py", "serve/pool.py")
 #: ``from <module ending here> import _private`` is also a violation
 _PRIVATE_IMPORT_SOURCES: Tuple[str, ...] = ("tensor.context",
                                             "obs.spans", "obs.metrics",
-                                            "serve.pool")
+                                            "obs.tracectx", "serve.pool")
 _PHASE_ATTRS: Set[str] = {"current_phase", "current_stage"}
 _HOOK_FUNCS: Set[str] = {"push_fault_hook", "pop_fault_hook",
                          "push_op_observer", "pop_op_observer",
                          "push_span", "pop_span",
                          "install_collector", "uninstall_collector",
                          "push_runtime", "pop_runtime",
-                         "push_worker", "pop_worker"}
+                         "push_worker", "pop_worker",
+                         "push_trace_context", "pop_trace_context"}
 
 
 class _ContextSafetyVisitor(ast.NodeVisitor):

@@ -51,6 +51,7 @@ def add_lint_arguments(cmd: argparse.ArgumentParser) -> None:
 def _registered_ids() -> List[str]:
     import repro.lint.checks  # noqa: F401
     import repro.lint.concurrency  # noqa: F401
+    import repro.lint.tracing  # noqa: F401
     from repro.lint.registry import all_checks
     return [cls.check_id for cls in all_checks()]
 
@@ -76,6 +77,7 @@ def _expand_checks(spec: str) -> Set[str]:
 def _explain_command(check_id: str) -> int:
     import repro.lint.checks  # noqa: F401
     import repro.lint.concurrency  # noqa: F401
+    import repro.lint.tracing  # noqa: F401
     from repro.lint.registry import all_checks
     wanted = check_id.strip().upper()
     for cls in all_checks():

@@ -172,6 +172,7 @@ def run_lint(config: LintConfig) -> LintResult:
     # importing the check modules populates the registry
     import repro.lint.checks  # noqa: F401
     import repro.lint.concurrency  # noqa: F401
+    import repro.lint.tracing  # noqa: F401
 
     checks = [cls() for cls in all_checks()
               if (config.select is None or cls.check_id in config.select)

@@ -1,0 +1,95 @@
+"""RL106: serve-path spans must carry a TraceContext (no orphan spans).
+
+The request-scoped tracing contract says every span opened on the
+serving path is attributable to the trace that caused it: a
+``serve:*`` span opened without a ``ctx=`` keyword is an *orphan* —
+it renders in the timeline but can never be grouped under a request,
+which silently breaks waterfall reports, tail sampling, and the
+cross-process trace reconstruction ROADMAP item 2 depends on.
+
+The check is syntactic and module-path independent: any call to a
+function named ``span`` (or the conventional ``_span`` import alias)
+whose first argument is a string literal — or an f-string with a
+literal head — starting with ``serve:`` must pass ``ctx=``.  The
+synthesizer in ``serve/tracing.py`` is exempt: it *constructs*
+``SpanRecord`` objects with explicit trace ids rather than opening
+live spans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.lint.engine import LintContext, ModuleSource
+from repro.lint.findings import SEVERITY_ERROR
+from repro.lint.registry import LintCheck, register_check
+
+#: function names that open a live span
+_SPAN_FUNCS = {"span", "_span"}
+
+#: the prefix marking a serving-path span name
+_SERVE_PREFIX = "serve:"
+
+
+def _call_func_name(func: ast.expr) -> Optional[str]:
+    """Terminal name of a call target: ``obs.span`` -> ``span``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_head(node: ast.expr) -> Optional[str]:
+    """The literal string head of a span-name argument, if static."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+class _ServeSpanVisitor(ast.NodeVisitor):
+    def __init__(self, check: "ServeSpanContext", module: ModuleSource,
+                 ctx: LintContext):
+        self.check = check
+        self.module = module
+        self.ctx = ctx
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_func_name(node.func)
+        if name in _SPAN_FUNCS and node.args:
+            head = _literal_head(node.args[0])
+            if head is not None and head.startswith(_SERVE_PREFIX):
+                has_ctx = any(kw.arg == "ctx" for kw in node.keywords)
+                if not has_ctx:
+                    self.ctx.report(
+                        self.check, self.module.relpath, node.lineno,
+                        node.col_offset,
+                        f"serve-path span {head!r} opened without a "
+                        f"TraceContext; pass ctx=<TraceContext> so the "
+                        f"span (and everything beneath it) is "
+                        f"attributable to the request trace it serves")
+        self.generic_visit(node)
+
+
+@register_check
+class ServeSpanContext(LintCheck):
+    check_id = "RL106"
+    name = "serve-span-trace-context"
+    description = ("spans opened on the serve request path must carry "
+                   "a TraceContext (ctx=...) — no orphan serve spans")
+    severity = SEVERITY_ERROR
+    example = (
+        "with span('serve:batch', bid=batch.bid):   # RL106: orphan\n"
+        "    run(batch)\n"
+        "# fix:\n"
+        "with span('serve:batch', ctx=batch_trace_context(batch),\n"
+        "          bid=batch.bid):\n"
+        "    run(batch)\n")
+
+    def visit_module(self, module: ModuleSource, ctx: LintContext) -> None:
+        _ServeSpanVisitor(self, module, ctx).visit(module.tree)

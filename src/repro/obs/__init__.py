@@ -12,6 +12,15 @@ Three altitudes of visibility over the characterization suite:
   :class:`~repro.obs.runrec.RunRecord` per run into ``runs.jsonl``,
   and :mod:`repro.obs.compare` diffs records to gate regressions.
 
+Two cross-cutting additions serve the serving layer:
+:mod:`repro.obs.tracectx` mints picklable request-scoped
+:class:`~repro.obs.tracectx.TraceContext` objects that stamp every
+span opened in their scope with a ``trace_id`` (causal trees across
+queue → batcher → pool → dispatcher), and :mod:`repro.obs.live` is a
+bounded ring-buffer event bus with rolling snapshot aggregation,
+deterministic tail-based trace sampling, and an SLO burn-rate monitor
+— live telemetry that never blocks the hot path.
+
 Exporters (:mod:`repro.obs.chrome`, :mod:`repro.obs.jsonl`,
 :mod:`repro.obs.flame`) serialize traces + spans to Chrome Trace Event
 JSON, a re-importable JSONL event log, and collapsed-stack flamegraph
@@ -31,6 +40,10 @@ from repro.obs.flame import (FLAME_WEIGHTS, collapsed_stacks,
                              trace_to_flame, write_flame)
 from repro.obs.jsonl import (read_jsonl, trace_from_jsonl_lines,
                              trace_to_jsonl, write_jsonl)
+from repro.obs.live import (BurnRateMonitor, LiveTelemetry,
+                            RingBufferBus, SLOPolicy,
+                            SnapshotAggregator, Subscriber,
+                            TailSamplingPolicy)
 from repro.obs.kstats import (CATEGORY_MIX, KernelStats,
                               archetype_kstats, kstats_by_category,
                               kstats_by_span, render_kstats,
@@ -47,20 +60,28 @@ from repro.obs.runrec import (RunRecord, append_record, counters_digest,
 from repro.obs.spans import (SpanCollector, SpanRecord, children_of,
                              current_span, now, render_spans, span,
                              span_roots, tracing_active)
+from repro.obs.tracectx import (TraceContext, current_trace_context,
+                                mint_batch_trace_id,
+                                mint_trace_context, trace_scope)
 
 __all__ = [
-    "CATEGORY_COLORS", "CATEGORY_MIX", "ComparisonReport", "Counter",
-    "DEFAULT_THRESHOLDS", "FLAME_WEIGHTS", "Gauge", "Histogram",
-    "KernelStats", "MetricDelta", "MetricsRegistry", "RunRecord",
-    "RuntimeMetrics", "SpanCollector", "SpanRecord", "active_runtime",
-    "append_record", "archetype_kstats", "bind_runtime", "children_of",
+    "BurnRateMonitor", "CATEGORY_COLORS", "CATEGORY_MIX",
+    "ComparisonReport", "Counter", "DEFAULT_THRESHOLDS",
+    "FLAME_WEIGHTS", "Gauge", "Histogram", "KernelStats",
+    "LiveTelemetry", "MetricDelta", "MetricsRegistry", "RingBufferBus",
+    "RunRecord", "RuntimeMetrics", "SLOPolicy", "SnapshotAggregator",
+    "SpanCollector", "SpanRecord", "Subscriber", "TailSamplingPolicy",
+    "TraceContext", "active_runtime", "append_record",
+    "archetype_kstats", "bind_runtime", "children_of",
     "collapsed_stacks", "compare_records", "counters_digest",
-    "current_span", "disable", "enable", "export_chrome",
-    "kstats_by_category", "kstats_by_span", "load_record",
-    "load_records", "now", "read_jsonl", "record_from_trace",
+    "current_span", "current_trace_context", "disable", "enable",
+    "export_chrome", "kstats_by_category", "kstats_by_span",
+    "load_record", "load_records", "mint_batch_trace_id",
+    "mint_trace_context", "now", "read_jsonl", "record_from_trace",
     "render_kstats", "render_registry", "render_report",
     "render_runtime", "render_spans", "save_record", "scoped_runtime",
     "span", "span_roots", "synthesize_kstats", "trace_from_jsonl_lines",
-    "trace_to_chrome", "trace_to_chrome_events", "trace_to_flame",
-    "trace_to_jsonl", "tracing_active", "write_flame", "write_report",
+    "trace_scope", "trace_to_chrome", "trace_to_chrome_events",
+    "trace_to_flame", "trace_to_jsonl", "tracing_active", "write_flame",
+    "write_report",
 ]

@@ -47,8 +47,15 @@ def _has_timestamps(trace: Trace) -> bool:
     return any(e.t_start > 0.0 for e in trace.events)
 
 
-def trace_to_chrome_events(trace: Trace) -> List[dict]:
-    """The ``traceEvents`` list for one trace (metadata first)."""
+def trace_to_chrome_events(trace: Trace,
+                           group_by_request: bool = False) -> List[dict]:
+    """The ``traceEvents`` list for one trace (metadata first).
+
+    ``group_by_request=True`` lays spans carrying a trace id out on
+    one named track per trace (negative tids below the shared span
+    track), so a multi-request serving export reads as per-request
+    waterfall lanes instead of one interleaved lane.
+    """
     tracks: Dict[str, int] = {}
     cursors: Dict[str, float] = {}
     measured = _has_timestamps(trace)
@@ -84,9 +91,21 @@ def trace_to_chrome_events(trace: Trace) -> List[dict]:
         })
 
     span_events: List[dict] = []
+    span_tracks: Dict[str, int] = {}
     for record in trace.spans:
         if not isinstance(record, SpanRecord):  # pragma: no cover
             continue
+        if group_by_request and record.trace_id is not None:
+            # one track per trace (i.e. per request / per batch), so
+            # multi-request serving timelines read as parallel lanes
+            tid = span_tracks.setdefault(
+                record.trace_id, -(len(span_tracks) + 1))
+        else:
+            tid = _SPAN_TID
+        args = {"sid": record.sid, "parent": record.parent,
+                **{str(k): v for k, v in record.attrs.items()}}
+        if record.trace_id is not None:
+            args["trace_id"] = record.trace_id
         span_events.append({
             "name": record.name,
             "cat": "span",
@@ -94,9 +113,8 @@ def trace_to_chrome_events(trace: Trace) -> List[dict]:
             "ts": record.start * 1e6,
             "dur": record.duration * 1e6,
             "pid": _PID,
-            "tid": _SPAN_TID,
-            "args": {"sid": record.sid, "parent": record.parent,
-                     **{str(k): v for k, v in record.attrs.items()}},
+            "tid": tid,
+            "args": args,
         })
 
     metadata: List[dict] = [
@@ -107,15 +125,20 @@ def trace_to_chrome_events(trace: Trace) -> List[dict]:
     ]
     metadata.extend(
         {"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+         "args": {"name": f"trace:{trace_id}"}}
+        for trace_id, tid in span_tracks.items())
+    metadata.extend(
+        {"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
          "args": {"name": f"ops:{phase}"}}
         for phase, tid in tracks.items())
     return metadata + span_events + op_events
 
 
-def trace_to_chrome(trace: Trace) -> str:
+def trace_to_chrome(trace: Trace, group_by_request: bool = False) -> str:
     """Full Chrome Trace Event JSON document for one trace."""
     return json.dumps({
-        "traceEvents": trace_to_chrome_events(trace),
+        "traceEvents": trace_to_chrome_events(
+            trace, group_by_request=group_by_request),
         "displayTimeUnit": "ms",
         "otherData": {"workload": trace.workload,
                       "events": len(trace.events),

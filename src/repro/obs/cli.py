@@ -37,9 +37,13 @@ def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
         "trace", help="export profiled traces (chrome / jsonl)")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     export = trace_sub.add_parser(
-        "export", help="profile a workload and export its timeline")
+        "export", help="profile a workload (or load a .jsonl trace "
+                       "log) and export its timeline")
     from repro.obs.flame import FLAME_WEIGHTS
-    export.add_argument("workload", help="registered workload name")
+    export.add_argument("workload",
+                        help="registered workload name, or a path to "
+                             "an existing .jsonl trace log (e.g. from "
+                             "repro serve bench --trace-jsonl)")
     export.add_argument("--format", default="chrome",
                         choices=("chrome", "jsonl", "flame"),
                         help="output format (default chrome)")
@@ -52,6 +56,11 @@ def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
     export.add_argument("--device", default="rtx",
                         help="device for the 'latency' flame weight "
                              "(default rtx)")
+    export.add_argument("--group-by-request", action="store_true",
+                        help="chrome format: one track per trace id, "
+                             "so serving exports read as per-request "
+                             "waterfall lanes; jsonl format: spans "
+                             "sorted by (trace id, start)")
     export.add_argument("--seed", type=int, default=0)
 
     metrics = sub.add_parser(
@@ -121,13 +130,23 @@ def _profile(workload: str, seed: int):
 
 
 def _run_trace(args: argparse.Namespace) -> int:
+    import os
     from repro.hwsim.devices import get_device
     from repro.obs.chrome import trace_to_chrome
     from repro.obs.flame import trace_to_flame
-    from repro.obs.jsonl import trace_to_jsonl
-    trace = _profile(args.workload, args.seed)
+    from repro.obs.jsonl import read_jsonl, trace_to_jsonl
+    group = getattr(args, "group_by_request", False)
+    if args.workload.endswith(".jsonl") and os.path.exists(args.workload):
+        # re-export an existing log (e.g. a serving trace) instead of
+        # profiling — the path is the trace source
+        trace = read_jsonl(args.workload)
+    else:
+        trace = _profile(args.workload, args.seed)
+    if group:
+        trace.spans = sorted(
+            trace.spans, key=lambda s: (s.trace_id or "", s.start, s.sid))
     if args.format == "chrome":
-        payload = trace_to_chrome(trace)
+        payload = trace_to_chrome(trace, group_by_request=group)
         hint = "open in chrome://tracing or Perfetto"
     elif args.format == "jsonl":
         payload = trace_to_jsonl(trace)

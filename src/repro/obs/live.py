@@ -1,0 +1,428 @@
+"""Live telemetry: ring-buffer bus, snapshots, tail sampling, SLO burn.
+
+The serving layer characterizes itself *after* a run (``ServerStats``
+summaries); this module is the *while it runs* counterpart — the
+pieces a production operator watches:
+
+* :class:`RingBufferBus` — a bounded, lock-protected event bus the
+  hot path publishes into.  Publishing is O(1), never blocks, and
+  never grows: when the ring is full the oldest event is overwritten
+  and slow subscribers observe the loss as a **drop count** computed
+  from sequence-number gaps.  Losing telemetry under overload is the
+  deliberate trade — the serving path must never wait on an observer.
+* :class:`SnapshotAggregator` — rolling-window aggregation emitted as
+  periodic snapshots: p50/p95/p99 end-to-end latency, throughput,
+  status counts, and the rejection mix per classified reason.
+* :class:`TailSamplingPolicy` — head sampling wastes retention on
+  healthy traffic; tail sampling decides *after* the outcome is
+  known.  Failed / degraded / rejected / deadline-missed / slow
+  requests always keep their full span trees; healthy requests are
+  kept at a small deterministic ratio (a seeded hash draw over the
+  trace id, so two runs of one seeded schedule retain identical
+  trace sets — the property CI asserts).
+* :class:`BurnRateMonitor` — multi-window SLO burn-rate alerting in
+  the SRE-workbook style: the error-budget burn rate over a fast and
+  a slow window, with edge-triggered ``page`` / ``ticket`` alerts.
+* :class:`LiveTelemetry` — the facade the server publishes into
+  (``InferenceServer.attach_telemetry``), fanning one response event
+  out to all four, and serializing snapshots/alerts/samples as JSONL
+  (``repro serve bench --live-snapshots``).
+
+Everything is clocked by the *event* timestamps, not the wall clock,
+so the same pipeline serves both live wall-clock mode and the
+deterministic virtual-time schedule mode bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import SpanRecord
+
+__all__ = [
+    "BurnRateMonitor", "LiveTelemetry", "RingBufferBus", "SLOPolicy",
+    "SnapshotAggregator", "Subscriber", "TailSamplingPolicy",
+]
+
+#: statuses counted against the SLO error budget
+_ERROR_STATUSES = ("failed", "rejected")
+
+
+# -- event bus ---------------------------------------------------------------
+
+class Subscriber:
+    """One reader's cursor into a :class:`RingBufferBus`.
+
+    ``poll()`` returns everything published since the last poll plus
+    the number of events this subscriber lost to ring overwrites.
+    """
+
+    def __init__(self, bus: "RingBufferBus"):
+        self._bus = bus
+        self._next_seq = bus.seq
+        self.dropped = 0
+
+    def poll(self) -> Tuple[List[Dict[str, object]], int]:
+        """(new events, events dropped since the last poll)."""
+        events, dropped, self._next_seq = self._bus.read_from(self._next_seq)
+        self.dropped += dropped
+        return events, dropped
+
+
+class RingBufferBus:
+    """Bounded single-lock event ring; publishing never blocks.
+
+    Every event gets a monotonically increasing sequence number.  The
+    ring holds the last ``capacity`` events; readers that fall more
+    than ``capacity`` behind lose the overwritten prefix and are told
+    exactly how much they lost.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: List[Optional[Dict[str, object]]] = [None] * capacity
+        self._lock = threading.Lock()
+        self._seq = 0          # next sequence number to assign
+
+    @property
+    def seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    @property
+    def published(self) -> int:
+        """Total events ever published."""
+        return self.seq
+
+    def publish(self, event: Dict[str, object]) -> int:
+        """Append ``event``; O(1), overwrites the oldest when full."""
+        with self._lock:
+            seq = self._seq
+            self._ring[seq % self.capacity] = event
+            self._seq = seq + 1
+            return seq
+
+    def read_from(self, start_seq: int) -> Tuple[List[Dict[str, object]],
+                                                 int, int]:
+        """Events with seq >= ``start_seq`` still in the ring.
+
+        Returns ``(events, dropped, next_seq)`` where ``dropped``
+        counts events already overwritten (the gap between
+        ``start_seq`` and the oldest retained sequence number).
+        """
+        with self._lock:
+            seq = self._seq
+            oldest = max(0, seq - self.capacity)
+            dropped = max(0, oldest - start_seq)
+            first = max(start_seq, oldest)
+            events = [self._ring[i % self.capacity]  # type: ignore[misc]
+                      for i in range(first, seq)]
+            return list(events), dropped, seq
+
+    def subscribe(self) -> Subscriber:
+        return Subscriber(self)
+
+
+# -- rolling aggregation -----------------------------------------------------
+
+def _percentile(sorted_values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(pct / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class SnapshotAggregator:
+    """Rolling-window aggregation emitted as periodic snapshots.
+
+    ``observe`` accumulates one response event; ``snapshot`` rolls
+    the window (dropping events older than ``window`` seconds before
+    ``at``) and returns the aggregate: latency percentiles over
+    *completed* requests, throughput, status counts, and the
+    per-class rejection mix.
+    """
+
+    def __init__(self, window: float = 5.0,
+                 percentiles: Tuple[int, ...] = (50, 95, 99)):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.percentiles = percentiles
+        self._events: List[Dict[str, object]] = []
+
+    def observe(self, event: Dict[str, object]) -> None:
+        self._events.append(event)
+
+    def _roll(self, at: float) -> None:
+        horizon = at - self.window
+        self._events = [e for e in self._events
+                        if float(e.get("t", 0.0)) > horizon]
+
+    def snapshot(self, at: float) -> Dict[str, object]:
+        """The rolling aggregate as of service-clock time ``at``."""
+        self._roll(at)
+        statuses: Dict[str, int] = {}
+        rejections: Dict[str, int] = {}
+        latencies: List[float] = []
+        queue_waits: List[float] = []
+        for event in self._events:
+            status = str(event.get("status"))
+            statuses[status] = statuses.get(status, 0) + 1
+            if status == "rejected":
+                reason = str(event.get("reject_reason"))
+                rejections[reason] = rejections.get(reason, 0) + 1
+            else:
+                latencies.append(float(event.get("latency", 0.0)))
+                queue_waits.append(float(event.get("queue_wait", 0.0)))
+        latencies.sort()
+        queue_waits.sort()
+        span = min(self.window, at) or self.window
+        return {
+            "type": "snapshot",
+            "t": round(at, 9),
+            "window": self.window,
+            "count": len(self._events),
+            "throughput_rps": round(len(latencies) / span, 6) if span else 0.0,
+            "latency": {f"p{p}": round(_percentile(latencies, p), 9)
+                        for p in self.percentiles},
+            "queue_wait": {f"p{p}": round(_percentile(queue_waits, p), 9)
+                           for p in self.percentiles},
+            "statuses": dict(sorted(statuses.items())),
+            "rejections": dict(sorted(rejections.items())),
+        }
+
+
+# -- tail-based sampling -----------------------------------------------------
+
+class TailSamplingPolicy:
+    """Decide *after* the outcome which traces keep full span trees.
+
+    Interesting requests (non-ok status, deadline misses, latency
+    above ``slow_threshold``) are always retained.  Healthy requests
+    are retained at ``healthy_ratio`` via a deterministic seeded hash
+    draw over the trace id — no RNG state, so the decision for a
+    given (seed, trace_id) never varies across runs or threads.
+    """
+
+    KEEP_REASONS = ("failed", "degraded", "rejected", "deadline", "slow",
+                    "healthy_sample")
+
+    def __init__(self, seed: int = 0, healthy_ratio: float = 0.05,
+                 slow_threshold: Optional[float] = None):
+        if not 0.0 <= healthy_ratio <= 1.0:
+            raise ValueError("healthy_ratio must be within [0, 1]")
+        self.seed = seed
+        self.healthy_ratio = healthy_ratio
+        self.slow_threshold = slow_threshold
+
+    def _draw(self, trace_id: str) -> float:
+        digest = hashlib.blake2s(f"{self.seed}:{trace_id}".encode(),
+                                 digest_size=8).digest()
+        return int.from_bytes(digest, "big") / float(1 << 64)
+
+    def decide(self, event: Dict[str, object]) -> Optional[str]:
+        """The retention reason for this event, or ``None`` to drop."""
+        status = str(event.get("status"))
+        if status in ("failed", "degraded", "rejected"):
+            return status
+        if event.get("deadline_exceeded"):
+            return "deadline"
+        latency = float(event.get("latency", 0.0))
+        if (self.slow_threshold is not None
+                and latency > self.slow_threshold):
+            return "slow"
+        trace_id = event.get("trace_id")
+        if trace_id is not None and \
+                self._draw(str(trace_id)) < self.healthy_ratio:
+            return "healthy_sample"
+        return None
+
+
+# -- SLO burn-rate monitoring ------------------------------------------------
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """An availability objective and the burn windows that guard it.
+
+    ``objective`` is the target good-request fraction (e.g. 0.99 → a
+    1% error budget).  Burn rate is (observed error rate) / (budget):
+    burning at 1.0 exhausts the budget exactly at the period's end.
+    The default thresholds are the SRE-workbook pairing: a fast
+    window catching sudden cliffs (page) and a slow window catching
+    sustained leaks (ticket).
+    """
+
+    objective: float = 0.99
+    fast_window: float = 5.0          # seconds (service clock)
+    slow_window: float = 60.0
+    fast_burn: float = 14.4           # page: budget gone in hours
+    slow_burn: float = 6.0            # ticket: budget gone in a day
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be within (0, 1)")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+class BurnRateMonitor:
+    """Edge-triggered burn-rate alerts over a stream of events.
+
+    ``observe`` returns newly *raised* alerts only: an alert fires
+    when a window's burn rate crosses its threshold and re-arms once
+    it falls back below — no alert storms while a condition holds.
+    """
+
+    def __init__(self, policy: Optional[SLOPolicy] = None):
+        self.policy = policy or SLOPolicy()
+        self._events: List[Tuple[float, bool]] = []   # (t, is_error)
+        self._active: Dict[str, bool] = {"page": False, "ticket": False}
+        self.alerts: List[Dict[str, object]] = []
+
+    def _is_error(self, event: Dict[str, object]) -> bool:
+        return (str(event.get("status")) in _ERROR_STATUSES
+                or bool(event.get("deadline_exceeded")))
+
+    def _burn(self, at: float, window: float) -> float:
+        horizon = at - window
+        total = errors = 0
+        for t, is_error in self._events:
+            if t > horizon:
+                total += 1
+                errors += is_error
+        if total == 0:
+            return 0.0
+        return (errors / total) / self.policy.budget
+
+    def observe(self, event: Dict[str, object]) -> List[Dict[str, object]]:
+        at = float(event.get("t", 0.0))
+        self._events.append((at, self._is_error(event)))
+        horizon = at - max(self.policy.fast_window, self.policy.slow_window)
+        self._events = [(t, e) for t, e in self._events if t > horizon]
+        raised: List[Dict[str, object]] = []
+        for severity, window, threshold in (
+                ("page", self.policy.fast_window, self.policy.fast_burn),
+                ("ticket", self.policy.slow_window, self.policy.slow_burn)):
+            burn = self._burn(at, window)
+            breached = burn >= threshold
+            if breached and not self._active[severity]:
+                alert = {"type": "alert", "severity": severity,
+                         "t": round(at, 9), "burn_rate": round(burn, 6),
+                         "threshold": threshold, "window": window,
+                         "objective": self.policy.objective}
+                raised.append(alert)
+                self.alerts.append(alert)
+            self._active[severity] = breached
+        return raised
+
+
+# -- facade ------------------------------------------------------------------
+
+class LiveTelemetry:
+    """One sink the server publishes response events into.
+
+    Fans each event out to the ring bus, the rolling aggregator (with
+    interval-aligned snapshot emission), the tail sampler (retaining
+    the event's span tree when the policy keeps it), and the burn-rate
+    monitor.  ``flush()`` closes the final snapshot window;
+    ``write_jsonl`` serializes snapshots + alerts + samples.
+
+    Thread-safe: live-mode workers publish concurrently.  All clocks
+    are event timestamps, so schedule-mode output is deterministic.
+    """
+
+    def __init__(self, bus: Optional[RingBufferBus] = None,
+                 aggregator: Optional[SnapshotAggregator] = None,
+                 sampler: Optional[TailSamplingPolicy] = None,
+                 monitor: Optional[BurnRateMonitor] = None,
+                 snapshot_interval: float = 1.0):
+        if snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        self.bus = bus or RingBufferBus()
+        self.aggregator = aggregator or SnapshotAggregator()
+        self.sampler = sampler or TailSamplingPolicy()
+        self.monitor = monitor or BurnRateMonitor()
+        self.snapshot_interval = snapshot_interval
+        self.snapshots: List[Dict[str, object]] = []
+        self.samples: List[Dict[str, object]] = []
+        self._sampled_spans: Dict[str, List[SpanRecord]] = {}
+        self._lock = threading.Lock()
+        self._window_end: Optional[float] = None
+        self._last_t = 0.0
+
+    # -- ingestion -----------------------------------------------------------
+    def record(self, event: Dict[str, object],
+               spans: Optional[Sequence[SpanRecord]] = None) -> None:
+        """Publish one response event (the server's per-response call)."""
+        with self._lock:
+            at = float(event.get("t", 0.0))
+            self._last_t = max(self._last_t, at)
+            if self._window_end is None:
+                self._window_end = (at // self.snapshot_interval + 1) \
+                    * self.snapshot_interval
+            while at >= self._window_end:
+                self.snapshots.append(
+                    self.aggregator.snapshot(self._window_end))
+                self._window_end += self.snapshot_interval
+            self.bus.publish(event)
+            self.aggregator.observe(event)
+            self.monitor.observe(event)
+            reason = self.sampler.decide(event)
+            if reason is not None:
+                sample = {"type": "sample", "t": round(at, 9),
+                          "trace_id": event.get("trace_id"),
+                          "rid": event.get("rid"),
+                          "status": event.get("status"),
+                          "reason": reason,
+                          "spans": len(spans or ())}
+                self.samples.append(sample)
+                if spans and event.get("trace_id") is not None:
+                    self._sampled_spans[str(event["trace_id"])] = list(spans)
+
+    def flush(self) -> None:
+        """Emit the final (partial) snapshot window."""
+        with self._lock:
+            if self._window_end is not None:
+                self.snapshots.append(
+                    self.aggregator.snapshot(max(self._last_t,
+                                                 self._window_end -
+                                                 self.snapshot_interval)))
+                self._window_end = None
+
+    # -- results -------------------------------------------------------------
+    @property
+    def alerts(self) -> List[Dict[str, object]]:
+        return self.monitor.alerts
+
+    def sampled_trace_ids(self) -> List[str]:
+        """Trace ids retained by tail sampling, in retention order."""
+        with self._lock:
+            return [str(s["trace_id"]) for s in self.samples
+                    if s.get("trace_id") is not None]
+
+    def sampled_spans(self, trace_id: str) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._sampled_spans.get(trace_id, ()))
+
+    def jsonl_lines(self) -> Iterable[str]:
+        """Snapshots, alerts, and tail samples as JSONL lines."""
+        with self._lock:
+            records = (list(self.snapshots) + list(self.monitor.alerts)
+                       + list(self.samples))
+        for record in records:
+            yield json.dumps(record, sort_keys=True)
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for line in self.jsonl_lines():
+                handle.write(line + "\n")

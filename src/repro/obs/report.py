@@ -12,6 +12,10 @@ Sections (each an anchor-linkable ``<section>``):
 1. **header** — workload, device, headline counters;
 2. **span timeline** — the collected span tree laid out on the shared
    monotonic timeline (percent-positioned, so it scales to any width);
+2b. **request waterfall** — only when the trace carries spans with
+   trace ids (a serving export): one lane per ``serve:request`` tree,
+   its lifecycle phases (queue wait / dispatch / execute) stacked as
+   a per-request waterfall;
 3. **kernel stats** — the generalized Table IV matrices from
    :mod:`repro.obs.kstats`, per operator category and per span;
 4. **roofline** — the device roof with per-phase and per-span points
@@ -65,6 +69,14 @@ thead th { background: #eef1f6; }
 .span { position: absolute; height: 18px; border-radius: 3px;
         font-size: 11px; color: #fff; overflow: hidden;
         white-space: nowrap; padding-left: 3px; box-sizing: border-box; }
+.waterfall { background: #f7f8fa; border: 1px solid #c8c8d0; }
+.wf-row { display: flex; align-items: center; height: 20px; }
+.wf-label { flex: 0 0 16em; font-size: 11px; padding-left: 4px;
+            overflow: hidden; white-space: nowrap; }
+.wf-lane { flex: 1; position: relative; height: 14px;
+           border-left: 1px solid #c8c8d0; }
+.wf-seg { position: absolute; top: 1px; height: 12px;
+          border-radius: 2px; }
 .kind-neural { color: #4e79a7; font-weight: 600; }
 .kind-symbolic { color: #e15759; font-weight: 600; }
 .kind-mixed { color: #b07aa1; font-weight: 600; }
@@ -148,6 +160,91 @@ def _section_timeline(trace: Trace) -> str:
             f"{format_time(total)}; hover for durations.</p>"
             f'<div class=timeline style="height:{height + 4}px">'
             + "".join(divs) + "</div>")
+
+
+#: lifecycle phase colors for the request waterfall (draw order:
+#: batch_assemble last so it overlays the tail of queue_wait)
+_WATERFALL_COLORS = (("serve:queue_wait", "#edc948"),
+                     ("serve:dispatch", "#b07aa1"),
+                     ("serve:execute", "#4e79a7"),
+                     ("serve:batch_assemble", "#9c755f"))
+
+#: lane cap so a long serving run still renders a readable report
+_WATERFALL_MAX_LANES = 80
+
+
+def _section_waterfall(trace: Trace) -> str:
+    """Per-request waterfall lanes, one per ``serve:request`` tree.
+
+    Present only when the trace carries trace-id-stamped spans (i.e.
+    a serving export with synthesized request lifecycle trees); a
+    plain profiled workload report is unchanged.
+    """
+    spans = [record for record in trace.spans
+             if isinstance(record, SpanRecord)
+             and record.trace_id is not None]
+    roots = sorted((r for r in spans if r.name == "serve:request"),
+                   key=lambda r: (r.start, r.trace_id or ""))
+    if not roots:
+        return ""
+    children: Dict[str, List[SpanRecord]] = {}
+    for record in spans:
+        if record.name != "serve:request":
+            children.setdefault(record.trace_id or "", []).append(record)
+    shown = roots[:_WATERFALL_MAX_LANES]
+    t0 = min(r.start for r in shown)
+    t1 = max(r.end for r in shown)
+    total = max(t1 - t0, 1e-9)
+    order = {name: index
+             for index, (name, _) in enumerate(_WATERFALL_COLORS)}
+    colors = dict(_WATERFALL_COLORS)
+    rows: List[str] = []
+    for root in shown:
+        rid = root.attrs.get("rid", "?")
+        status = str(root.attrs.get("status", "?"))
+        workload = str(root.attrs.get("workload", "?"))
+        label = escape(f"rid {rid} {workload} [{status}] "
+                       f"{format_time(root.duration)}")
+        segments: List[str] = []
+        lane = [record
+                for record in children.get(root.trace_id or "", [])
+                if record.name in colors]
+        for record in sorted(lane,
+                             key=lambda r: order.get(r.name, 99)):
+            left = 100.0 * (record.start - t0) / total
+            width = max(100.0 * record.duration / total, 0.1)
+            title = escape(f"{record.name} "
+                           f"[{format_time(record.duration)}]")
+            segments.append(
+                f'<div class=wf-seg title="{title}" '
+                f'style="left:{left:.3f}%;width:{width:.3f}%;'
+                f'background:{colors[record.name]}"></div>')
+        if not segments:        # rejected: mark the admission decision
+            left = 100.0 * (root.start - t0) / total
+            reason = next(
+                (str(r.attrs.get("reject_reason", ""))
+                 for r in children.get(root.trace_id or "", [])
+                 if r.name == "serve:admit"), "")
+            segments.append(
+                f'<div class=wf-seg title="rejected: {escape(reason)}" '
+                f'style="left:{left:.3f}%;width:0.25%;'
+                f'background:#e15759"></div>')
+        rows.append(f'<div class=wf-row>'
+                    f'<div class=wf-label title="{label}">{label}</div>'
+                    f'<div class=wf-lane>{"".join(segments)}</div>'
+                    f'</div>')
+    legend = " · ".join(
+        f'<span style="color:{color}">■</span> '
+        f'{escape(name.split(":", 1)[1])}'
+        for name, color in _WATERFALL_COLORS)
+    truncated = ("" if len(roots) <= _WATERFALL_MAX_LANES else
+                 f" (showing first {_WATERFALL_MAX_LANES} of "
+                 f"{len(roots)})")
+    return ("<h2 id=waterfall>request waterfall</h2>"
+            f"<p class=meta>{len(roots)} request trace trees over "
+            f"{format_time(total)}{truncated}; {legend}; red tick = "
+            "rejected at admission; hover for phase durations.</p>"
+            f"<div class=waterfall>{''.join(rows)}</div>")
 
 
 def _kstats_table(stats: Sequence[KernelStats], caption: str) -> str:
@@ -340,6 +437,7 @@ def render_report(trace: Trace, device: DeviceSpec = RTX_2080TI,
     sections = [
         _section_header(trace, device),
         _section_timeline(trace),
+        _section_waterfall(trace),
         _section_kstats(trace, device),
         _section_roofline(trace, device),
         _section_sparsity(trace),

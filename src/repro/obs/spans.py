@@ -38,6 +38,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.tracectx import (TraceContext, current_trace_context,
+                                trace_scope)
+
 #: Process-wide monotonic epoch.  Every span and op timestamp in this
 #: process is a ``perf_counter`` offset from this origin.
 _EPOCH = time.perf_counter()
@@ -58,25 +61,34 @@ class SpanRecord:
     start: float
     end: float = 0.0
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: Trace this span belongs to (ambient TraceContext at open time);
+    #: ``None`` for spans opened outside any request scope.
+    trace_id: Optional[str] = None
 
     @property
     def duration(self) -> float:
         return max(0.0, self.end - self.start)
 
     def to_dict(self) -> Dict[str, object]:
-        return {"sid": self.sid, "parent": self.parent,
-                "name": self.name, "start": self.start, "end": self.end,
-                "attrs": dict(self.attrs)}
+        out: Dict[str, object] = {
+            "sid": self.sid, "parent": self.parent,
+            "name": self.name, "start": self.start, "end": self.end,
+            "attrs": dict(self.attrs)}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
     @classmethod
     def from_dict(cls, raw: Dict[str, object]) -> "SpanRecord":
+        trace_id = raw.get("trace_id")
         return cls(sid=int(raw["sid"]),
                    parent=(None if raw.get("parent") is None
                            else int(raw["parent"])),  # type: ignore[arg-type]
                    name=str(raw["name"]),
                    start=float(raw["start"]),  # type: ignore[arg-type]
                    end=float(raw.get("end", 0.0)),  # type: ignore[arg-type]
-                   attrs=dict(raw.get("attrs", {})))  # type: ignore[arg-type]
+                   attrs=dict(raw.get("attrs", {})),  # type: ignore[arg-type]
+                   trace_id=(None if trace_id is None else str(trace_id)))
 
 
 _state = threading.local()
@@ -143,11 +155,20 @@ def _next_sid() -> int:
 
 def push_span(name: str,
               attrs: Optional[Dict[str, object]] = None) -> SpanRecord:
-    """Open a span (internal; use :func:`span` or the tensor contexts)."""
+    """Open a span (internal; use :func:`span` or the tensor contexts).
+
+    The span is stamped with the ambient :class:`TraceContext`'s
+    trace id (if one is in scope on this thread), which is how every
+    span under a ``serve:batch`` execution — runner attempts, profile
+    phases, op stages — becomes linkable to the request that caused
+    it without any explicit plumbing.
+    """
     stack = _span_stack()
     parent = stack[-1].sid if stack else None
+    ctx = current_trace_context()
     record = SpanRecord(sid=_next_sid(), parent=parent, name=name,
-                        start=now(), attrs=dict(attrs or {}))
+                        start=now(), attrs=dict(attrs or {}),
+                        trace_id=(ctx.trace_id if ctx is not None else None))
     stack.append(record)
     _adjust_counts(open_delta=+1)
     return record
@@ -211,7 +232,8 @@ class SpanCollector:
 
 
 @contextmanager
-def span(name: str, **attrs: object) -> Iterator[Optional[SpanRecord]]:
+def span(name: str, ctx: Optional[TraceContext] = None,
+         **attrs: object) -> Iterator[Optional[SpanRecord]]:
     """Open a child span for the block; no-op when tracing is inactive.
 
     Yields the open :class:`SpanRecord` (or ``None`` on the no-op
@@ -221,7 +243,17 @@ def span(name: str, **attrs: object) -> Iterator[Optional[SpanRecord]]:
             ...
             if rec is not None:
                 rec.attrs["status"] = "ok"
+
+    Passing ``ctx=`` additionally makes that :class:`TraceContext`
+    ambient for the block (even when tracing is inactive), so this
+    span *and every span opened inside the block* carry its trace id.
+    Serve-path spans are required to pass it (lint check RL106).
     """
+    if ctx is not None:
+        with trace_scope(ctx):
+            with span(name, **attrs) as record:
+                yield record
+        return
     if not tracing_active():
         yield None
         return

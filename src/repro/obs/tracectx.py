@@ -1,0 +1,165 @@
+"""Request-scoped trace context: the cross-boundary tracing identity.
+
+A :class:`TraceContext` names one causal trace — normally one serving
+request — and travels *with* the work instead of living in any
+process-local registry.  It is deliberately **picklable by
+construction** (plain strings, ints, and tuples; lint check RL104
+guards the closure) because it is the wire format a request carries
+across the thread boundary today and the process boundary of the
+ROADMAP item-2 worker fleet tomorrow:
+
+* ``trace_id`` — deterministic hex identity, minted once at admission
+  (:func:`mint_trace_context`) as a pure function of the request's
+  ``(rid, workload, seed)``, so two seeded runs of the same schedule
+  mint identical ids and every downstream artifact (sampled trace
+  sets, exported JSONL, waterfall reports) is reproducible;
+* ``parent_sid`` — optional span id of the caller's open span, linking
+  a remote continuation back into the caller's tree;
+* ``baggage`` — sorted ``(key, value)`` string pairs for small
+  propagated annotations (request ids of a batch, rejection class).
+
+Propagation is ambient: :func:`trace_scope` installs a context on a
+thread-local stack and every span opened while it is active
+(:func:`repro.obs.spans.push_span`) is stamped with its ``trace_id``,
+so the resilient runner's ``run:*`` / ``attempt#N`` spans and the
+profiled workload's ``phase:*`` spans all become linkable to the
+serving request that caused them — without any of those layers
+knowing the context exists.
+
+The thread-local stack is private: ``push_trace_context`` /
+``pop_trace_context`` may only be called from ``__enter__`` /
+``__exit__`` pairs or ``@contextmanager`` functions (lint check
+RL005), because an unbalanced stack mislabels every span that
+follows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "TraceContext", "current_trace_context", "mint_batch_trace_id",
+    "mint_trace_context", "trace_scope",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serializable identity of one causal trace (one request).
+
+    Every field is a plain value type so instances pickle, JSON-encode
+    (via :meth:`to_dict`), and hash without touching process-local
+    state — the precondition for crossing thread and process
+    boundaries (enforced statically by lint check RL104 on the serve
+    request path).
+    """
+
+    trace_id: str
+    parent_sid: Optional[int] = None
+    baggage: Tuple[Tuple[str, str], ...] = ()
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Baggage lookup."""
+        for name, value in self.baggage:
+            if name == key:
+                return value
+        return default
+
+    def with_baggage(self, **items: str) -> "TraceContext":
+        """A copy with ``items`` merged into the (sorted) baggage."""
+        merged = dict(self.baggage)
+        merged.update({key: str(value) for key, value in items.items()})
+        return replace(self, baggage=tuple(sorted(merged.items())))
+
+    def with_parent(self, parent_sid: Optional[int]) -> "TraceContext":
+        """A copy re-rooted under span ``parent_sid``."""
+        return replace(self, parent_sid=parent_sid)
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"trace_id": self.trace_id}
+        if self.parent_sid is not None:
+            out["parent_sid"] = self.parent_sid
+        if self.baggage:
+            out["baggage"] = {key: value for key, value in self.baggage}
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "TraceContext":
+        baggage = raw.get("baggage") or {}
+        return cls(
+            trace_id=str(raw["trace_id"]),
+            parent_sid=(None if raw.get("parent_sid") is None
+                        else int(raw["parent_sid"])),  # type: ignore[arg-type]
+            baggage=tuple(sorted((str(k), str(v))
+                          for k, v in baggage.items())),  # type: ignore[union-attr]
+        )
+
+
+def _hex_id(seed_text: str) -> str:
+    """16-hex-char deterministic id (blake2s; no global RNG — RL004)."""
+    return hashlib.blake2s(seed_text.encode(), digest_size=8).hexdigest()
+
+
+def mint_trace_context(rid: int, workload: str,
+                       seed: int = 0) -> TraceContext:
+    """Mint the admission-time context for one request.
+
+    A pure function of the request identity, so replaying a seeded
+    schedule mints bit-identical trace ids — the property the
+    tail-sampling determinism check and the trace-tree fuzz invariants
+    rely on.
+    """
+    return TraceContext(
+        trace_id=_hex_id(f"req:{rid}:{workload}:{seed}"),
+        baggage=(("rid", str(rid)), ("workload", workload)))
+
+
+def mint_batch_trace_id(member_trace_ids: Tuple[str, ...]) -> str:
+    """Deterministic trace id for a batch execution shared by members."""
+    return _hex_id("batch:" + ",".join(member_trace_ids))
+
+
+_state = threading.local()
+
+
+def _trace_stack() -> List[TraceContext]:
+    if not hasattr(_state, "contexts"):
+        _state.contexts = []
+    return _state.contexts
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The innermost active context on this thread, or ``None``."""
+    stack = _trace_stack()
+    return stack[-1] if stack else None
+
+
+def push_trace_context(ctx: TraceContext) -> None:
+    """Enter ``ctx`` on this thread (internal; use :func:`trace_scope`)."""
+    _trace_stack().append(ctx)
+
+
+def pop_trace_context(ctx: TraceContext) -> None:
+    """Leave ``ctx``; it must be the innermost active context."""
+    stack = _trace_stack()
+    if not stack or stack[-1] is not ctx:  # pragma: no cover - misuse
+        raise RuntimeError("trace contexts exited out of order")
+    stack.pop()
+
+
+@contextmanager
+def trace_scope(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Make ``ctx`` the ambient trace context for the block.
+
+    Every span opened inside the block (on this thread) is stamped
+    with ``ctx.trace_id`` by :func:`repro.obs.spans.push_span`.
+    """
+    push_trace_context(ctx)
+    try:
+        yield ctx
+    finally:
+        pop_trace_context(ctx)

@@ -66,7 +66,19 @@ def _add_server_flags(cmd: "argparse.ArgumentParser") -> None:
                      help="write the stats summary JSON here")
     cmd.add_argument("--report", default=None,
                      help="write an HTML run report (with serving "
-                          "spans) here")
+                          "spans and per-request waterfalls) here")
+    cmd.add_argument("--live-snapshots", default=None,
+                     help="attach live telemetry and write its "
+                          "snapshots/alerts/tail-samples JSONL here")
+    cmd.add_argument("--snapshot-interval", type=float, default=1.0,
+                     help="live-telemetry snapshot period in seconds "
+                          "(default 1.0)")
+    cmd.add_argument("--sample-ratio", type=float, default=0.05,
+                     help="tail-sampling keep ratio for healthy "
+                          "requests (default 0.05)")
+    cmd.add_argument("--trace-jsonl", default=None,
+                     help="export the serving span trees (worker spans "
+                          "+ per-request lifecycle trees) as JSONL here")
 
 
 def add_serve_subcommands(sub: "argparse._SubParsersAction") -> None:
@@ -129,6 +141,38 @@ def _config_from_args(args: "argparse.Namespace") -> ServeConfig:
     )
 
 
+def _telemetry_from_args(args: "argparse.Namespace"):
+    """A LiveTelemetry sink when ``--live-snapshots`` asked for one."""
+    if not args.live_snapshots:
+        return None
+    from repro.obs.live import LiveTelemetry, TailSamplingPolicy
+    return LiveTelemetry(
+        sampler=TailSamplingPolicy(seed=getattr(args, "seed", 0),
+                                   healthy_ratio=args.sample_ratio),
+        snapshot_interval=args.snapshot_interval)
+
+
+def _emit_telemetry(args: "argparse.Namespace", telemetry) -> None:
+    if telemetry is None or not args.live_snapshots:
+        return
+    telemetry.write_jsonl(args.live_snapshots)
+    print(f"live telemetry ({len(telemetry.snapshots)} snapshots, "
+          f"{len(telemetry.samples)} tail samples, "
+          f"{len(telemetry.alerts)} alerts) -> {args.live_snapshots}",
+          file=sys.stderr)
+
+
+def _emit_trace_jsonl(args: "argparse.Namespace", result) -> None:
+    if not getattr(args, "trace_jsonl", None):
+        return
+    from repro.obs.jsonl import write_jsonl
+    from repro.serve.tracing import serve_trace
+    trace = serve_trace(result)
+    write_jsonl(trace, args.trace_jsonl)
+    print(f"serve trace ({len(trace.spans)} spans) -> {args.trace_jsonl}",
+          file=sys.stderr)
+
+
 def _emit(args: "argparse.Namespace", stats: ServerStats,
           meta: Dict[str, object], report_trace=None) -> None:
     print(stats.render())
@@ -167,8 +211,11 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
             deadline=(None if args.deadline_ms is None
                       else args.deadline_ms / 1000.0),
             seed_pool=args.seed_pool)
+        telemetry = _telemetry_from_args(args)
         if args.loop == "closed":
             server = InferenceServer(config)
+            if telemetry is not None:
+                server.attach_telemetry(telemetry)
             server.start()
             t0 = time.perf_counter()
             report = run_closed_loop(
@@ -182,6 +229,7 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
             _emit(args, server.stats,
                   {"mode": "closed", "mix": args.mix,
                    "clients": args.clients})
+            _emit_telemetry(args, telemetry)
             return _exit_code(server.stats)
         schedule = open_loop(spec)
         if args.save_schedule:
@@ -194,6 +242,8 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
             print(f"schedule ({n} requests) -> {args.save_schedule}",
                   file=sys.stderr)
         server = InferenceServer(config)
+        if telemetry is not None:
+            server.attach_telemetry(telemetry)
         result = server.run_schedule(schedule)
         _emit(args, result.stats,
               {"mode": "open", "mix": args.mix, "rate": args.rate,
@@ -203,6 +253,8 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
                "max_wait_ms": args.max_wait_ms,
                "queue_depth": args.queue_depth},
               report_trace=result.report_trace())
+        _emit_telemetry(args, telemetry)
+        _emit_trace_jsonl(args, result)
         return _exit_code(result.stats)
 
     if args.serve_command == "replay":
@@ -211,6 +263,9 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
         if not schedule:
             raise SystemExit(f"empty schedule: {args.schedule!r}")
         server = InferenceServer(config)
+        telemetry = _telemetry_from_args(args)
+        if telemetry is not None:
+            server.attach_telemetry(telemetry)
         if args.realtime:
             server.start()
             pendings = []
@@ -229,12 +284,15 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
             server.stop(drain=True)
             _emit(args, server.stats,
                   {"mode": "replay-realtime", "schedule": args.schedule})
+            _emit_telemetry(args, telemetry)
             return _exit_code(server.stats)
         result = server.run_schedule(schedule)
         _emit(args, result.stats,
               {"mode": "replay", "schedule": args.schedule,
                "workers": args.workers, "device": args.device},
               report_trace=result.report_trace())
+        _emit_telemetry(args, telemetry)
+        _emit_trace_jsonl(args, result)
         return _exit_code(result.stats)
 
     raise SystemExit(f"unhandled serve command {args.serve_command!r}")

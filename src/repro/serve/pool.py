@@ -41,6 +41,7 @@ from repro.resilience.runner import (STATUS_FAILED, ResilientRunner,
                                      RetryPolicy, WorkloadOutcome)
 from repro.serve.batcher import Batch
 from repro.serve.cache import ArtifactCache
+from repro.serve.tracing import batch_trace_context
 
 _state = threading.local()
 
@@ -138,11 +139,19 @@ class Worker:
             plan = copy.deepcopy(plan)
         collector = SpanCollector()
         start = time.perf_counter()
+        # the batch's trace context becomes ambient for the whole
+        # execution, so runner attempts and profile spans all carry
+        # the batch trace id and stay linkable to the member requests
+        ctx = batch_trace_context(batch)
         with bind_worker(self):
             with collector:
-                with _span("serve:batch", bid=batch.bid,
+                with _span("serve:batch", ctx=ctx, bid=batch.bid,
                            workload=batch.workload, size=batch.size,
-                           worker=self.name, device=self.device.name):
+                           worker=self.name, device=self.device.name,
+                           rids=[r.rid for r in batch.requests],
+                           traces=[r.trace.trace_id
+                                   for r in batch.requests
+                                   if r.trace is not None]):
                     outcome = self.runner.run_workload(
                         batch.workload, seed=batch.seed,
                         fault_plan=plan, **batch.params)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.obs.tracectx import TraceContext
 from repro.resilience.runner import (STATUS_DEGRADED, STATUS_FAILED,
                                      STATUS_OK)
 
@@ -53,6 +54,10 @@ class Request:
     params: Tuple[Tuple[str, object], ...] = ()
     priority: int = 1
     deadline: Optional[float] = None  # relative SLO budget, seconds
+    #: distributed-tracing identity minted at admission; excluded from
+    #: the batch key and from equality-relevant serialization so
+    #: schedule save/replay round-trips are unchanged
+    trace: Optional[TraceContext] = None
 
     @property
     def key(self) -> BatchKey:
@@ -67,7 +72,17 @@ class Request:
     def param_dict(self) -> Dict[str, object]:
         return dict(self.params)
 
+    def with_trace(self, trace: TraceContext) -> "Request":
+        """An identical request carrying ``trace`` (frozen-safe copy)."""
+        return Request(rid=self.rid, workload=self.workload,
+                       arrival=self.arrival, seed=self.seed,
+                       params=self.params, priority=self.priority,
+                       deadline=self.deadline, trace=trace)
+
     def to_dict(self) -> Dict[str, object]:
+        # ``trace`` is deliberately omitted: contexts are re-minted
+        # deterministically at admission, so saved schedules stay
+        # byte-identical to pre-tracing archives.
         out: Dict[str, object] = {
             "rid": self.rid, "workload": self.workload,
             "arrival": self.arrival, "seed": self.seed,
@@ -128,6 +143,9 @@ class Response:
     error: Optional[str] = None
     error_type: Optional[str] = None
     result: Dict[str, object] = field(default_factory=dict)
+    trace_id: Optional[str] = None     # causal trace this request yields
+    assemble_wait: float = 0.0         # batch open -> batch close
+    dispatch_wait: float = 0.0         # batch close -> service start
 
     @property
     def ok(self) -> bool:
@@ -145,6 +163,8 @@ class Response:
             "rid": self.rid, "workload": self.workload,
             "status": self.status,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.reject_reason is not None:
             out["reject_reason"] = self.reject_reason
             return out
@@ -158,6 +178,8 @@ class Response:
             "deadline_exceeded": self.deadline_exceeded,
             "measured_wall": self.measured_wall,
             "attempts": self.attempts,
+            "assemble_wait": self.assemble_wait,
+            "dispatch_wait": self.dispatch_wait,
         })
         if self.deadline is not None:
             out["deadline"] = self.deadline
@@ -171,4 +193,6 @@ def rejection(request: Request, reason: str) -> Response:
     """The :class:`Response` for a request shed at admission."""
     return Response(rid=request.rid, workload=request.workload,
                     status=STATUS_REJECTED, reject_reason=reason,
-                    arrival=request.arrival, deadline=request.deadline)
+                    arrival=request.arrival, deadline=request.deadline,
+                    trace_id=(request.trace.trace_id
+                              if request.trace is not None else None))

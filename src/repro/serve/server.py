@@ -51,6 +51,9 @@ from repro.serve.queue import (REJECT_SHUTDOWN, AdmissionPolicy,
 from repro.serve.request import (Request, Response, make_request,
                                  rejection)
 from repro.serve.stats import ServerStats
+from repro.serve.tracing import (mint_request_trace, mint_schedule,
+                                 request_span_trees, response_event,
+                                 spans_by_trace)
 
 
 @dataclass(frozen=True)
@@ -112,8 +115,18 @@ class ServeReport:
         if best is None:
             return None
         trace = best.trace
-        trace.spans = list(best.spans)
+        spans = list(best.spans)
+        # graft the synthesized per-request lifecycle trees on as well
+        # (sids offset past the real worker spans) so the report's
+        # waterfall section can render request causality
+        sid_base = max((span.sid for span in spans), default=-1) + 1
+        spans.extend(request_span_trees(self.responses, sid_base=sid_base))
+        trace.spans = spans
         return trace
+
+    def request_spans(self):
+        """Synthesized lifecycle span trees for every response."""
+        return request_span_trees(self.responses)
 
 
 class PendingResponse:
@@ -169,6 +182,8 @@ class InferenceServer:
         self._pending_lock = threading.Lock()
         self._rid = 0
         self._epoch = 0.0
+        # live telemetry sink (off by default; attach_telemetry wires it)
+        self._telemetry = None
 
     # -- modeled latency -----------------------------------------------------
     def _modeled_latency(self, result: BatchResult,
@@ -193,9 +208,26 @@ class InferenceServer:
         with self._modeled_lock:
             return self._modeled.setdefault(key, value)
 
+    # -- telemetry -----------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.obs.live.LiveTelemetry` sink (opt-in).
+
+        Off by default: when nothing is attached the serving paths pay
+        exactly one ``is None`` branch per response.
+        """
+        self._telemetry = telemetry
+
+    def _publish(self, response: Response,
+                 spans=None) -> None:
+        if self._telemetry is not None:
+            self._telemetry.record(response_event(response), spans=spans)
+
     # -- deterministic schedule mode -----------------------------------------
     def run_schedule(self, schedule: Sequence[Request]) -> ServeReport:
         """Serve a timestamped schedule; deterministic stats, real threads."""
+        # admission is where the tracing identity is born: every
+        # request carries its TraceContext from here on
+        schedule = mint_schedule(schedule)
         batches, rejections = plan_batches(
             schedule, self.config.batch, self.config.admission)
         start = time.perf_counter()
@@ -206,6 +238,18 @@ class InferenceServer:
                      for request, reason in rejections]
         responses.extend(self._virtual_dispatch(batches, results))
         responses.sort(key=lambda r: r.rid)
+
+        if self._telemetry is not None:
+            # replay the virtual timeline through the telemetry
+            # pipeline in completion order — snapshots, tail samples,
+            # and burn-rate alerts are all deterministic per schedule
+            trees = spans_by_trace(request_span_trees(responses))
+            for response in sorted(responses,
+                                   key=lambda r: (r.arrival if r.status ==
+                                                  "rejected" else r.completion,
+                                                  r.rid)):
+                self._publish(response, spans=trees.get(response.trace_id))
+            self._telemetry.flush()
 
         peak = self._virtual_peak_depth(schedule, batches, rejections)
         for response in responses:
@@ -260,7 +304,12 @@ class InferenceServer:
             completion=completion, deadline=request.deadline,
             deadline_exceeded=exceeded, measured_wall=result.wall,
             attempts=result.attempts, error=result.error,
-            error_type=result.error_type)
+            error_type=result.error_type,
+            trace_id=(request.trace.trace_id
+                      if request.trace is not None else None),
+            assemble_wait=max(0.0, batch.close_time
+                              - max(request.arrival, batch.open_time)),
+            dispatch_wait=max(0.0, service_start - batch.close_time))
 
     @staticmethod
     def _virtual_peak_depth(schedule: Sequence[Request],
@@ -316,9 +365,10 @@ class InferenceServer:
         with self._pending_lock:
             rid = self._rid
             self._rid += 1
-        request = make_request(rid, workload, arrival=self.clock(),
-                               seed=seed, params=params,
-                               priority=priority, deadline=deadline)
+        request = mint_request_trace(
+            make_request(rid, workload, arrival=self.clock(),
+                         seed=seed, params=params,
+                         priority=priority, deadline=deadline))
         pending = PendingResponse(request)
         with self._pending_lock:
             self._pending[rid] = pending
@@ -328,6 +378,7 @@ class InferenceServer:
                 self._pending.pop(rid, None)
             response = rejection(request, reason)
             self.stats.record_response(response)
+            self._publish(response)
             pending.resolve(response)
         return pending
 
@@ -354,8 +405,15 @@ class InferenceServer:
                 completion=completion, deadline=request.deadline,
                 deadline_exceeded=exceeded, measured_wall=result.wall,
                 attempts=result.attempts, error=result.error,
-                error_type=result.error_type)
+                error_type=result.error_type,
+                trace_id=(request.trace.trace_id
+                          if request.trace is not None else None),
+                assemble_wait=max(0.0, batch.close_time
+                                  - max(request.arrival, batch.open_time)),
+                dispatch_wait=max(0.0, completion - batch.close_time
+                                  - result.wall))
             self.stats.record_response(response)
+            self._publish(response)
             with self._pending_lock:
                 pending = self._pending.pop(request.rid, None)
             if pending is not None:
@@ -375,6 +433,7 @@ class InferenceServer:
                     pending = self._pending.pop(request.rid, None)
                 response = rejection(request, REJECT_SHUTDOWN)
                 self.stats.record_response(response)
+                self._publish(response)
                 if pending is not None:
                     pending.resolve(response)
         self._queue.close()
@@ -394,7 +453,10 @@ class InferenceServer:
         for pending in leftovers:
             response = rejection(pending.request, REJECT_SHUTDOWN)
             self.stats.record_response(response)
+            self._publish(response)
             pending.resolve(response)
+        if self._telemetry is not None:
+            self._telemetry.flush()
         self.stats.record_queue(self._queue.peak_depth)
         self.stats.record_cache(self.cache.stats())
         self.stats.wall_elapsed = self.clock()

@@ -71,6 +71,14 @@ class ServerStats:
             "repro_serve_service_seconds",
             "modeled per-device batch service time", ("workload",),
             SERVE_LATENCY_BUCKETS)
+        self.assemble_wait = reg.histogram(
+            "repro_serve_assemble_wait_seconds",
+            "time spent inside a forming batch (open/join -> close)",
+            ("workload",), SERVE_LATENCY_BUCKETS)
+        self.dispatch_wait = reg.histogram(
+            "repro_serve_dispatch_wait_seconds",
+            "batch close -> service start (virtual worker contention)",
+            ("workload",), SERVE_LATENCY_BUCKETS)
         self.execute_wall = reg.histogram(
             "repro_serve_execute_wall_seconds",
             "measured batch execution wall (non-deterministic)",
@@ -107,6 +115,10 @@ class ServerStats:
                                  workload=response.workload)
         self.service_latency.observe(response.modeled_latency,
                                      workload=response.workload)
+        self.assemble_wait.observe(response.assemble_wait,
+                                   workload=response.workload)
+        self.dispatch_wait.observe(response.dispatch_wait,
+                                   workload=response.workload)
 
     def record_batch(self, result: BatchResult) -> None:
         batch = result.batch
@@ -187,6 +199,13 @@ class ServerStats:
             "queue_wait": self._quantile_block(self.queue_wait),
             "latency": self._quantile_block(self.e2e_latency),
             "service": self._quantile_block(self.service_latency),
+            # end-to-end latency decomposed into its causal stages
+            # (queue_wait above covers arrival -> batch close; the
+            # assemble tail and the dispatch gap split the rest out)
+            "breakdown": {
+                "assemble_wait": self._quantile_block(self.assemble_wait),
+                "dispatch_wait": self._quantile_block(self.dispatch_wait),
+            },
             "cache": {"hits": int(self.cache_hits.value()),
                       "misses": int(self.cache_misses.value()),
                       "evictions": int(self.cache_evictions.value())},
@@ -221,7 +240,10 @@ class ServerStats:
         lines.append(render_table(
             ["status", "requests"], status_rows, title="Request outcomes"))
         lat_rows = []
+        breakdown = det["breakdown"]  # type: ignore[index]
         for label, block in (("queue wait", det["queue_wait"]),
+                             ("· assemble", breakdown["assemble_wait"]),
+                             ("dispatch wait", breakdown["dispatch_wait"]),
                              ("end-to-end", det["latency"]),
                              ("modeled service", det["service"]),
                              ("execute wall*", meas["execute_wall"])):

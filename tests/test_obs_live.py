@@ -1,0 +1,324 @@
+"""Tests for trace contexts and the live telemetry layer (PR 8).
+
+Covers :mod:`repro.obs.tracectx` (deterministic minting, pickling —
+the cross-process wire-format contract — and ambient propagation) and
+:mod:`repro.obs.live` (ring-buffer overflow/drop accounting, rolling
+snapshot aggregation, tail-sampling determinism, burn-rate alert
+thresholds, and the LiveTelemetry facade's JSONL output).
+"""
+
+import json
+import pickle
+import threading
+
+import pytest
+
+from repro.obs.live import (BurnRateMonitor, LiveTelemetry, RingBufferBus,
+                            SLOPolicy, SnapshotAggregator,
+                            TailSamplingPolicy)
+from repro.obs.spans import SpanCollector, span
+from repro.obs.tracectx import (TraceContext, current_trace_context,
+                                mint_batch_trace_id, mint_trace_context,
+                                trace_scope)
+
+
+def _event(t, status="ok", latency=0.01, queue_wait=0.002,
+           trace_id="t0", rid=0, **extra):
+    event = {"t": t, "status": status, "latency": latency,
+             "queue_wait": queue_wait, "trace_id": trace_id, "rid": rid}
+    event.update(extra)
+    return event
+
+
+# -- trace contexts ----------------------------------------------------------
+
+class TestTraceContext:
+    def test_minting_is_deterministic(self):
+        a = mint_trace_context(7, "nvsa", seed=3)
+        b = mint_trace_context(7, "nvsa", seed=3)
+        assert a == b
+        assert a.trace_id == b.trace_id
+        assert mint_trace_context(7, "nvsa", seed=4).trace_id != a.trace_id
+        assert mint_trace_context(8, "nvsa", seed=3).trace_id != a.trace_id
+
+    def test_baggage_carries_request_identity(self):
+        ctx = mint_trace_context(42, "lnn", seed=0)
+        assert ctx.get("rid") == "42"
+        assert ctx.get("workload") == "lnn"
+        assert ctx.get("missing", "fallback") == "fallback"
+
+    def test_pickle_round_trip(self):
+        # the cross-process wire-format contract (ROADMAP item 2):
+        # a context must survive a queue hop byte-for-byte
+        ctx = mint_trace_context(3, "nvsa", seed=1).with_baggage(
+            hop="worker-2").with_parent(17)
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone == ctx
+        assert clone.trace_id == ctx.trace_id
+        assert clone.parent_sid == 17
+        assert clone.get("hop") == "worker-2"
+
+    def test_dict_round_trip(self):
+        ctx = mint_trace_context(5, "lnn").with_baggage(k="v")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_batch_trace_id_depends_on_membership(self):
+        members = ["aa", "bb", "cc"]
+        assert mint_batch_trace_id(members) == mint_batch_trace_id(members)
+        assert mint_batch_trace_id(members) != mint_batch_trace_id(["aa"])
+
+    def test_trace_scope_stamps_spans(self):
+        ctx = mint_trace_context(1, "nvsa")
+        with SpanCollector() as collector:
+            with span("outside"):
+                pass
+            with trace_scope(ctx):
+                assert current_trace_context() is ctx
+                with span("inside") as outer:
+                    with span("nested"):
+                        pass
+            assert current_trace_context() is None
+        by_name = {record.name: record for record in collector.spans}
+        assert by_name["outside"].trace_id is None
+        assert by_name["inside"].trace_id == ctx.trace_id
+        assert by_name["nested"].trace_id == ctx.trace_id
+        assert outer.trace_id == ctx.trace_id
+
+    def test_span_ctx_kwarg_scopes_descendants(self):
+        ctx = mint_trace_context(2, "lnn")
+        with SpanCollector() as collector:
+            with span("serve:batch", ctx=ctx, bid=0):
+                with span("child"):
+                    pass
+        assert all(record.trace_id == ctx.trace_id
+                   for record in collector.spans)
+
+
+# -- ring buffer -------------------------------------------------------------
+
+class TestRingBufferBus:
+    def test_publish_and_poll(self):
+        bus = RingBufferBus(capacity=8)
+        sub = bus.subscribe()
+        for i in range(3):
+            bus.publish({"i": i})
+        events, dropped = sub.poll()
+        assert [e["i"] for e in events] == [0, 1, 2]
+        assert dropped == 0
+        assert sub.poll() == ([], 0)
+
+    def test_overflow_drop_accounting(self):
+        bus = RingBufferBus(capacity=4)
+        sub = bus.subscribe()
+        for i in range(10):
+            bus.publish({"i": i})
+        events, dropped = sub.poll()
+        # ring holds the last 4 of 10; the 6 overwritten are reported
+        assert [e["i"] for e in events] == [6, 7, 8, 9]
+        assert dropped == 6
+        assert sub.dropped == 6
+        assert bus.published == 10
+
+    def test_late_subscriber_sees_only_the_future(self):
+        bus = RingBufferBus(capacity=4)
+        bus.publish({"i": 0})
+        sub = bus.subscribe()
+        bus.publish({"i": 1})
+        events, dropped = sub.poll()
+        assert [e["i"] for e in events] == [1]
+        assert dropped == 0
+
+    def test_publish_never_blocks_under_concurrency(self):
+        bus = RingBufferBus(capacity=16)
+        def worker(base):
+            for i in range(200):
+                bus.publish({"i": base + i})
+        threads = [threading.Thread(target=worker, args=(k * 1000,))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert bus.published == 800
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingBufferBus(capacity=0)
+
+
+# -- snapshots ---------------------------------------------------------------
+
+class TestSnapshotAggregator:
+    def test_percentiles_and_counts(self):
+        agg = SnapshotAggregator(window=10.0)
+        for i in range(100):
+            agg.observe(_event(t=0.1 * (i + 1), latency=0.001 * (i + 1)))
+        snap = agg.snapshot(at=10.0)
+        assert snap["type"] == "snapshot"
+        assert snap["count"] == 100
+        assert snap["statuses"] == {"ok": 100}
+        assert snap["latency"]["p50"] == pytest.approx(0.050, abs=0.002)
+        assert snap["latency"]["p99"] == pytest.approx(0.099, abs=0.002)
+        assert snap["throughput_rps"] == pytest.approx(10.0)
+
+    def test_window_rolls_off_old_events(self):
+        agg = SnapshotAggregator(window=1.0)
+        agg.observe(_event(t=0.1))
+        agg.observe(_event(t=5.0))
+        snap = agg.snapshot(at=5.5)
+        assert snap["count"] == 1
+
+    def test_rejection_mix(self):
+        agg = SnapshotAggregator(window=10.0)
+        agg.observe(_event(t=1.0))
+        agg.observe(_event(t=2.0, status="rejected",
+                           reject_reason="queue_full"))
+        agg.observe(_event(t=3.0, status="rejected",
+                           reject_reason="queue_full"))
+        agg.observe(_event(t=4.0, status="rejected",
+                           reject_reason="stale_deadline"))
+        snap = agg.snapshot(at=5.0)
+        assert snap["rejections"] == {"queue_full": 2, "stale_deadline": 1}
+        assert snap["statuses"] == {"ok": 1, "rejected": 3}
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotAggregator(window=0.0)
+
+
+# -- tail sampling -----------------------------------------------------------
+
+class TestTailSampling:
+    def test_interesting_outcomes_always_kept(self):
+        policy = TailSamplingPolicy(seed=0, healthy_ratio=0.0)
+        assert policy.decide(_event(0.0, status="failed")) == "failed"
+        assert policy.decide(_event(0.0, status="degraded")) == "degraded"
+        assert policy.decide(_event(0.0, status="rejected")) == "rejected"
+        assert policy.decide(
+            _event(0.0, deadline_exceeded=True)) == "deadline"
+
+    def test_slow_threshold(self):
+        policy = TailSamplingPolicy(seed=0, healthy_ratio=0.0,
+                                    slow_threshold=0.1)
+        assert policy.decide(_event(0.0, latency=0.5)) == "slow"
+        assert policy.decide(_event(0.0, latency=0.05)) is None
+
+    def test_healthy_draw_is_deterministic(self):
+        # the CI determinism assertion depends on this: same seed →
+        # identical retained trace-id set, across runs and processes
+        ids = [f"trace{i:04d}" for i in range(400)]
+        def kept(seed):
+            policy = TailSamplingPolicy(seed=seed, healthy_ratio=0.1)
+            return [tid for tid in ids
+                    if policy.decide(_event(0.0, trace_id=tid))]
+        assert kept(7) == kept(7)
+        assert kept(7) != kept(8)
+        # ratio is roughly honored over a large draw
+        assert 10 <= len(kept(7)) <= 90
+
+    def test_ratio_bounds(self):
+        assert TailSamplingPolicy(healthy_ratio=1.0).decide(
+            _event(0.0)) == "healthy_sample"
+        assert TailSamplingPolicy(healthy_ratio=0.0).decide(
+            _event(0.0)) is None
+        with pytest.raises(ValueError):
+            TailSamplingPolicy(healthy_ratio=1.5)
+
+
+# -- burn rate ---------------------------------------------------------------
+
+class TestBurnRateMonitor:
+    def test_page_fires_on_fast_burn(self):
+        # objective 0.99 → 1% budget; fast threshold 14.4 → a window
+        # error rate >= 14.4% pages.  20 events, 4 errors = 20%.
+        monitor = BurnRateMonitor(SLOPolicy(objective=0.99))
+        raised = []
+        for i in range(20):
+            status = "failed" if i % 5 == 0 else "ok"
+            raised.extend(monitor.observe(_event(t=0.1 * i, status=status)))
+        severities = {a["severity"] for a in raised}
+        assert "page" in severities
+        page = next(a for a in raised if a["severity"] == "page")
+        assert page["burn_rate"] >= page["threshold"]
+        assert page["window"] == 5.0
+
+    def test_no_alert_below_threshold(self):
+        monitor = BurnRateMonitor(SLOPolicy(objective=0.99))
+        for i in range(100):
+            status = "failed" if i == 50 else "ok"   # 1% ≈ burn 1.0
+            monitor.observe(_event(t=0.01 * i, status=status))
+        assert monitor.alerts == []
+
+    def test_edge_triggered_no_storm(self):
+        monitor = BurnRateMonitor(SLOPolicy(objective=0.99))
+        for i in range(50):
+            monitor.observe(_event(t=0.01 * i, status="failed"))
+        pages = [a for a in monitor.alerts if a["severity"] == "page"]
+        assert len(pages) == 1   # condition held for 50 events: 1 alert
+
+    def test_rearm_after_recovery(self):
+        policy = SLOPolicy(objective=0.99, fast_window=1.0, slow_window=2.0)
+        monitor = BurnRateMonitor(policy)
+        for i in range(10):
+            monitor.observe(_event(t=0.05 * i, status="failed"))
+        for i in range(100):                     # > both windows of calm
+            monitor.observe(_event(t=1.0 + 0.05 * i, status="ok"))
+        before = len([a for a in monitor.alerts
+                      if a["severity"] == "page"])
+        for i in range(10):
+            monitor.observe(_event(t=10.0 + 0.05 * i, status="failed"))
+        after = len([a for a in monitor.alerts if a["severity"] == "page"])
+        assert after == before + 1               # re-armed, re-fired
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            SLOPolicy(objective=1.0)
+
+
+# -- facade ------------------------------------------------------------------
+
+class TestLiveTelemetry:
+    def test_snapshot_cadence_and_flush(self):
+        telemetry = LiveTelemetry(snapshot_interval=1.0)
+        for i in range(35):
+            telemetry.record(_event(t=0.1 * i, trace_id=f"t{i}", rid=i))
+        telemetry.flush()
+        # events span [0, 3.4]s → boundaries at 1, 2, 3 + final partial
+        assert len(telemetry.snapshots) == 4
+        assert [s["t"] for s in telemetry.snapshots[:3]] == [1.0, 2.0, 3.0]
+
+    def test_tail_samples_and_span_retention(self):
+        telemetry = LiveTelemetry(
+            sampler=TailSamplingPolicy(seed=0, healthy_ratio=0.0))
+        with SpanCollector() as collector:
+            with span("serve:request"):
+                pass
+        telemetry.record(_event(t=0.5, status="failed", trace_id="bad"),
+                         spans=collector.spans)
+        telemetry.record(_event(t=0.6, trace_id="fine"))
+        telemetry.flush()
+        assert telemetry.sampled_trace_ids() == ["bad"]
+        assert [s.name for s in telemetry.sampled_spans("bad")] \
+            == ["serve:request"]
+        assert telemetry.sampled_spans("fine") == []
+
+    def test_jsonl_lines_are_valid_and_typed(self, tmp_path):
+        telemetry = LiveTelemetry(
+            sampler=TailSamplingPolicy(seed=0, healthy_ratio=1.0))
+        for i in range(12):
+            status = "failed" if i % 2 else "ok"
+            telemetry.record(_event(t=0.2 * i, status=status,
+                                    trace_id=f"t{i}", rid=i))
+        telemetry.flush()
+        path = tmp_path / "live.jsonl"
+        telemetry.write_jsonl(str(path))
+        kinds = {"snapshot": 0, "alert": 0, "sample": 0}
+        for line in path.read_text().splitlines():
+            kinds[json.loads(line)["type"]] += 1
+        assert kinds["snapshot"] >= 1
+        assert kinds["sample"] == 12      # ratio 1.0 keeps everything
+        assert kinds["alert"] >= 1        # 50% failures burns the budget
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            LiveTelemetry(snapshot_interval=0.0)
