@@ -54,7 +54,11 @@ def test_ablation_cache(benchmark):
                          f"{c.dram_bw_utilization_pct:.1f}%"])
     emit("ablation_cache", render_table(
         ["kernel", "L2 size", "L1 hit", "L2 hit", "DRAM util"],
-        rows, title="Ablation — L2 capacity sweep (Table IV kernels)"))
+        rows, title="Ablation — L2 capacity sweep (Table IV kernels)"),
+        rows=rows,
+        columns=["kernel", "l2_size", "l1_hit_pct", "l2_hit_pct",
+                 "dram_util_pct"],
+        meta={"l2_sizes_bytes": list(L2_SIZES), "device": "rtx2080ti"})
 
     # symbolic hit rates are structural: capacity-invariant
     for kernel in ("vectorized_elem", "elementwise"):

@@ -58,7 +58,14 @@ def test_ablation_codebook(benchmark):
         ["symbols", "codebook bytes", "noisy recovery",
          "max off-diag similarity", "sweep bytes/query"],
         rows, title=f"Ablation — cleanup memory (d={DIM}, "
-                    f"{NOISE_FLIPS:.0%} bit flips)"))
+                    f"{NOISE_FLIPS:.0%} bit flips)"),
+        rows=rows,
+        columns=["symbols", "codebook_bytes", "noisy_recovery",
+                 "max_offdiag_similarity", "sweep_bytes_per_query"],
+        meta={"dim": DIM, "noise_flips": NOISE_FLIPS,
+              "queries": QUERIES,
+              "recovery_rates": {str(k): v
+                                 for k, v in recovery.items()}})
     # quasi-orthogonality keeps cleanup near-perfect at every size
     # tested (capacity of a d=2048 bipolar space far exceeds 1024
     # symbols at this noise level)

@@ -49,7 +49,13 @@ def test_ablation_dimension(benchmark):
     emit("ablation_dimension", render_table(
         ["hypervector dim", "RPM accuracy", "codebook bytes",
          "symbolic traffic", "latency"],
-        rows, title="Ablation — NVSA hypervector dimensionality"))
+        rows, title="Ablation — NVSA hypervector dimensionality"),
+        rows=rows,
+        columns=["dim", "rpm_accuracy", "codebook_bytes",
+                 "symbolic_traffic", "latency"],
+        meta={"dims": list(DIMS), "seeds": len(list(SEEDS)),
+              "symbolic_traffic_bytes": {str(k): v
+                                         for k, v in traffic.items()}})
     # traffic scales roughly linearly with d
     assert traffic[2048] > traffic[256] * 4
     # accuracy does not collapse at the default dimension

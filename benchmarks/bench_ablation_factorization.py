@@ -97,7 +97,14 @@ def test_ablation_factorization(benchmark):
     emit("ablation_factorization", render_table(
         ["combination space", "brute accuracy", "brute bytes/query",
          "resonator accuracy", "resonator bytes/query"],
-        rows, title="Ablation — cleanup vs resonator factorization"))
+        rows, title="Ablation — cleanup vs resonator factorization"),
+        rows=rows,
+        columns=["combination_space", "brute_accuracy",
+                 "brute_bytes_per_query", "resonator_accuracy",
+                 "resonator_bytes_per_query"],
+        meta={"dim": DIM, "queries": QUERIES,
+              "bytes_per_query": {str(size): {"brute": b, "resonator": r}
+                                  for size, (b, r) in stats.items()}})
     # brute-force traffic scales with the combination space; the
     # resonator's scales with the factor codebooks
     small, large = sorted(stats)

@@ -39,7 +39,13 @@ def test_ablation_nlm(benchmark):
     emit("ablation_nlm", render_table(
         ["depth", "breadth", "latency", "symbolic %", "symbolic bytes",
          "grandparent acc"],
-        rows, title="Ablation — NLM depth x breadth"))
+        rows, title="Ablation — NLM depth x breadth"),
+        rows=rows,
+        columns=["depth", "breadth", "latency", "symbolic_pct",
+                 "symbolic_bytes", "grandparent_accuracy"],
+        meta={"device": "rtx2080ti",
+              "symbolic_bytes": {f"d{d}b{b}": by
+                                 for (d, b), (_, by) in data.items()}})
     # breadth (arity) is the expensive axis: ternary tensors blow up
     # traffic far more than extra layers do
     bytes_b2 = data[(4, 2)][1]

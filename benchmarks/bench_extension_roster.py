@@ -47,7 +47,12 @@ def test_extension_roster(benchmark):
     emit("extension_roster", render_table(
         ["workload", "paradigm", "latency", "symbolic %",
          "symbolic<-neural", "neural<-symbolic"],
-        rows, title="Extension roster — remaining Table I paradigms"))
+        rows, title="Extension roster — remaining Table I paradigms"),
+        rows=rows,
+        columns=["workload", "paradigm", "latency", "symbolic_pct",
+                 "symbolic_depends_on_neural",
+                 "neural_depends_on_symbolic"],
+        meta={"device": "rtx2080ti", "seed": 0})
 
     # Symbolic[Neuro]: the symbolic loop drives the neural subroutine
     mcts_graph = results["mcts"][2]

@@ -39,7 +39,11 @@ def test_fig2b_edge_platforms(benchmark):
     emit("fig2b_edge_platforms", render_table(
         ["workload", "device", "latency", "slowdown vs RTX",
          "symbolic %"],
-        rows, title="Fig. 2b — edge-platform latency (NVSA, NLM)"))
+        rows, title="Fig. 2b — edge-platform latency (NVSA, NLM)"),
+        rows=rows,
+        columns=["workload", "device", "latency", "slowdown_vs_rtx",
+                 "symbolic_pct"],
+        meta={"devices": [d.name for d in DEVICES], "seed": 0})
     # shape: TX2 is the slowest platform for both workloads
     by_workload = {}
     for workload, device, _, slowdown, _ in rows:

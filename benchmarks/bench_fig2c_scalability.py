@@ -33,6 +33,13 @@ def test_fig2c_scalability(benchmark):
                  "", ""])
     emit("fig2c_scalability", render_table(
         ["task size", "total latency", "symbolic %", "events", "FLOPs"],
-        rows, title="Fig. 2c — NVSA scaling across RPM task sizes"))
+        rows, title="Fig. 2c — NVSA scaling across RPM task sizes"),
+        rows=rows,
+        columns=["task_size", "total_latency", "symbolic_pct",
+                 "events", "flops"],
+        meta={"device": "rtx2080ti",
+              "growth_factor": study.growth_factor(),
+              "symbolic_fraction_range":
+                  study.symbolic_fraction_range()})
     assert study.growth_factor() > 1.5          # superlinear blow-up
     assert study.symbolic_fraction_range() < 0.15  # stable split

@@ -33,7 +33,14 @@ def test_fig3b_memory(benchmark):
     emit("fig3b_memory", render_table(
         ["workload", "peak live", "neural peak", "symbolic peak",
          "weights", "codebooks/KB", "codebook share"],
-        rows, title="Fig. 3b — memory usage during computation"))
+        rows, title="Fig. 3b — memory usage during computation"),
+        rows=rows,
+        columns=["workload", "peak_live", "neural_peak",
+                 "symbolic_peak", "weights", "codebooks_kb",
+                 "codebook_share_pct"],
+        meta={"seed": 0,
+              "peak_live_bytes": {name: p.peak_live_bytes
+                                  for name, p in profiles.items()}})
 
     # shape checks
     nvsa = profiles["nvsa"]

@@ -41,7 +41,12 @@ def test_fig3c_roofline(benchmark):
     emit("fig3c_roofline", render_table(
         ["workload", "phase", "OI (FLOP/B)", "achieved", "attainable",
          "bound (time-weighted)"],
-        rows, title="Fig. 3c — roofline placement on RTX 2080 Ti"))
+        rows, title="Fig. 3c — roofline placement on RTX 2080 Ti"),
+        rows=rows,
+        columns=["workload", "phase", "operational_intensity",
+                 "achieved", "attainable", "bound"],
+        meta={"device": "rtx2080ti",
+              "ridge_point": figure.ridge_point, "seed": 0})
 
     # shape: symbolic memory-bound, neural compute-bound, for the
     # pipelined perception workloads

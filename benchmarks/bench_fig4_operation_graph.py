@@ -42,7 +42,13 @@ def test_fig4_operation_graph(benchmark):
         ["workload", "nodes", "edges", "cross-phase edges",
          "symbolic<-neural", "neural<-symbolic", "serialization",
          "symbolic on crit. path", "max width"],
-        rows, title="Fig. 4 — operation-dependency graph analysis"))
+        rows, title="Fig. 4 — operation-dependency graph analysis"),
+        rows=rows,
+        columns=["workload", "nodes", "edges", "cross_phase_edges",
+                 "symbolic_depends_on_neural",
+                 "neural_depends_on_symbolic", "serialization",
+                 "symbolic_on_critical_path_pct", "max_width"],
+        meta={"device": "rtx2080ti", "seed": 0})
 
     # pipelined systems: symbolic consumes the neural result
     for name in PIPELINED:

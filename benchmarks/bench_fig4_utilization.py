@@ -47,7 +47,11 @@ def test_fig4_utilization(benchmark):
     emit("fig4_utilization", render_table(
         ["workload", "neural ALU util", "symbolic ALU util",
          "co-scheduling headroom (4 slots)"],
-        rows, title="Fig. 4 — phase utilization and scheduling headroom"))
+        rows, title="Fig. 4 — phase utilization and scheduling headroom"),
+        rows=rows,
+        columns=["workload", "neural_alu_util_pct",
+                 "symbolic_alu_util_pct", "coscheduling_headroom"],
+        meta={"device": "rtx2080ti", "max_concurrency": 4, "seed": 0})
 
     for name, (utilization, schedule) in stats.items():
         neural = utilization.get(PHASE_NEURAL, 0.0)

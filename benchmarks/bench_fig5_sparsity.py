@@ -29,7 +29,12 @@ def test_fig5_sparsity(benchmark):
                        for label in stage_labels])
     emit("fig5_sparsity", render_table(
         ["attribute"] + stage_labels, rows,
-        title="Fig. 5 — NVSA symbolic-stage sparsity by attribute"))
+        title="Fig. 5 — NVSA symbolic-stage sparsity by attribute"),
+        rows=rows,
+        columns=["attribute"] + [label.lower().replace(" ", "_")
+                                 .replace("-", "_")
+                                 for label in stage_labels],
+        meta={"seed": 0, "stages": stage_labels})
 
     # high sparsity everywhere
     for attr, stages in sweep.items():

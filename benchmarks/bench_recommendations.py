@@ -65,7 +65,11 @@ def test_recommendations(benchmark):
                      "-", f"{parallel:.2f}x", "-"])
     emit("recommendations_whatif", render_table(
         ["workload", "scenario", "latency", "speedup", "symbolic share"],
-        rows, title="Paper recommendations quantified"))
+        rows, title="Paper recommendations quantified"),
+        rows=rows,
+        columns=["workload", "scenario", "latency", "speedup",
+                 "symbolic_share_pct"],
+        meta={"device": "rtx2080ti", "seed": 0})
 
     nvsa_base, nvsa_scen, nvsa_parallel = results["nvsa"]
     nvsa = {label: speedup for label, _, speedup, _ in nvsa_scen}

@@ -58,7 +58,11 @@ def test_sec5e_transfers(benchmark):
         ["workload", "explicit transfer bytes", "h2d share",
          "GPU time", "CPU time", "PCIe time"],
         rows,
-        title="Sec. V-E — data movement (symbolic-on-host placement)"))
+        title="Sec. V-E — data movement (symbolic-on-host placement)"),
+        rows=rows,
+        columns=["workload", "explicit_transfer_bytes", "h2d_share_pct",
+                 "gpu_time_pct", "cpu_time_pct", "pcie_time_pct"],
+        meta={"cpu": "xeon4114", "gpu": "rtx2080ti", "seed": 0})
 
     for name, (explicit, projected) in stats.items():
         # ">80% is from host CPU to GPU": input loading dominates the

@@ -45,7 +45,18 @@ def test_tab1_3_taxonomy(benchmark):
                       "datatype", "neural", "symbolic"], table3,
                      title="Table III — profiled workloads"),
     ])
-    emit("tab1_3_taxonomy", text)
+    emit("tab1_3_taxonomy", text,
+         rows=table1,
+         columns=["algorithm", "paradigm", "underlying_operations",
+                  "vector_format"],
+         meta={"table2_operations":
+                   [dict(zip(("operation", "workload", "example"), row))
+                    for row in table2],
+               "table3_workloads":
+                   [dict(zip(("workload", "paradigm", "learning",
+                              "application", "datatype", "neural",
+                              "symbolic"), row))
+                    for row in table3]})
 
     assert len(table1) == 17
     assert len(table2) == 4

@@ -42,7 +42,12 @@ def test_tab4_hw_inefficiency(benchmark):
         rows.append(cells)
     emit("tab4_hw_inefficiency", render_table(
         ["counter (ours vs paper)"] + kernels, rows,
-        title="Table IV — kernel counters on RTX 2080 Ti model"))
+        title="Table IV — kernel counters on RTX 2080 Ti model"),
+        rows=rows,
+        columns=["counter"] + kernels,
+        meta={"device": "rtx2080ti",
+              "paper_values": {k: list(v) for k, v in PAPER.items()},
+              "counter_rows": list(COUNTER_ROWS)})
 
     # the paper's contrasts
     assert report.neural_compute_dominant

@@ -1,0 +1,80 @@
+"""RL107: raw clock reads must route through ``repro.obs.clock``.
+
+The self-profiling ledger, span timeline, serve telemetry, and the
+longitudinal perf history all share one measurement substrate: the
+approved clock helpers in :mod:`repro.obs.clock` (``perf_s`` /
+``perf_ns``).  A module that reads ``time.perf_counter()`` (or any
+other raw clock) directly forks that substrate — its timestamps can
+disagree with the span epoch, escape the single choke point where a
+deterministic test clock could be injected, and silently skew the
+very overhead numbers this suite exists to report.
+
+The check resolves calls through the engine's import-alias tables, so
+``import time as t; t.monotonic()`` and ``from time import
+perf_counter`` are both caught.  ``time.sleep`` and friends are not
+clock *reads* and stay legal.  The one module allowed to touch the
+raw clocks is ``obs/clock.py`` itself.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import LintContext, ModuleSource
+from repro.lint.findings import SEVERITY_ERROR
+from repro.lint.registry import LintCheck, register_check
+
+#: the single module allowed to read raw clocks
+_EXEMPT_RELPATHS = ("obs/clock.py",)
+
+#: ``time.<func>`` clock reads that must route through the helpers
+_CLOCK_FUNCS = frozenset({
+    "time", "time_ns",
+    "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
+
+
+class _ClockVisitor(ast.NodeVisitor):
+    def __init__(self, check: "RawClockRead", module: ModuleSource,
+                 ctx: LintContext):
+        self.check = check
+        self.module = module
+        self.ctx = ctx
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.module.resolve_call("time", node.func)
+        if resolved in _CLOCK_FUNCS:
+            helper = ("perf_ns" if resolved.endswith("_ns")
+                      else "perf_s")
+            self.ctx.report(
+                self.check, self.module.relpath, node.lineno,
+                node.col_offset,
+                f"raw clock read time.{resolved}(); route through "
+                f"repro.obs.clock.{helper}() so all timestamps share "
+                f"one substrate (span epoch, ledger probes, serve "
+                f"telemetry) and tests can inject a clock at a single "
+                f"choke point")
+        self.generic_visit(node)
+
+
+@register_check
+class RawClockRead(LintCheck):
+    check_id = "RL107"
+    name = "raw-clock-read"
+    description = ("raw time.* clock reads must route through the "
+                   "approved helpers in repro.obs.clock")
+    severity = SEVERITY_ERROR
+    example = (
+        "start = time.perf_counter()          # RL107: raw clock\n"
+        "# fix:\n"
+        "from repro.obs.clock import perf_s\n"
+        "start = perf_s()\n")
+
+    def visit_module(self, module: ModuleSource, ctx: LintContext) -> None:
+        if module.relpath in _EXEMPT_RELPATHS:
+            return
+        _ClockVisitor(self, module, ctx).visit(module.tree)

@@ -171,6 +171,7 @@ def run_lint(config: LintConfig) -> LintResult:
     """Run all (selected) checks over the configured tree."""
     # importing the check modules populates the registry
     import repro.lint.checks  # noqa: F401
+    import repro.lint.clocks  # noqa: F401
     import repro.lint.concurrency  # noqa: F401
     import repro.lint.tracing  # noqa: F401
 

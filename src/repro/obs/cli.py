@@ -10,13 +10,29 @@ Wired into the main ``repro`` parser by :func:`add_obs_subcommands`:
     python -m repro compare runs.jsonl --last 2
     python -m repro compare baseline.json candidate.json --warn-only
     python -m repro report nvsa --device rtx2080ti -o report.html
+    python -m repro report nvsa --history benchmarks/history.jsonl
+    python -m repro obs selfprof nvsa --json
+    python -m repro obs opportunities nvsa --top 20
+    python -m repro obs history record --db benchmarks/history.jsonl
+    python -m repro obs history show --db benchmarks/history.jsonl
+    python -m repro obs history gate --db benchmarks/history.jsonl
 
 ``compare`` exits 0 when the candidate is within thresholds and 4 on
 a regression (``--warn-only`` reports but always exits 0), so CI can
 gate on drift between commits.  ``report`` writes the self-contained
-HTML run report (span timeline, kernel-stats matrix, roofline SVG);
-``trace export --format flame`` writes collapsed stacks for
-flamegraph.pl / speedscope.
+HTML run report (span timeline, kernel-stats matrix, roofline SVG;
+``--history`` adds the longitudinal trend section); ``trace export
+--format flame`` writes collapsed stacks for flamegraph.pl /
+speedscope.
+
+The ``obs`` group is the dispatch-overhead observatory: ``selfprof``
+prints the per-component dispatch ledger and compiled-tier headroom
+for one workload, ``opportunities`` prints the ranked fusion/hoist/
+prealloc work-list the plan compiler will consume, and ``history``
+maintains the committed longitudinal trajectory
+(``record`` appends a structured entry, ``show`` renders trends +
+change points, ``gate`` exits 6 on a regression beyond per-metric
+thresholds).
 """
 
 from __future__ import annotations
@@ -28,7 +44,8 @@ from typing import Optional
 #: exit code for a regression detected by ``repro compare``
 EXIT_REGRESSION = 4
 
-OBS_COMMANDS = ("trace", "metrics", "record", "compare", "report")
+OBS_COMMANDS = ("trace", "metrics", "record", "compare", "report",
+                "obs")
 
 
 def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
@@ -118,7 +135,89 @@ def add_obs_subcommands(sub: "argparse._SubParsersAction") -> None:
     report.add_argument("--baseline", default=None,
                         help="run-record JSON to diff against "
                              "(adds a comparison section)")
+    report.add_argument("--history", default=None,
+                        help="history.jsonl to render the longitudinal "
+                             "perf-trend section from (sparkline per "
+                             "metric, change points marked)")
     report.add_argument("--seed", type=int, default=0)
+
+    obs = sub.add_parser(
+        "obs",
+        help="dispatch-overhead observatory: self-profiling ledger, "
+             "fusion-opportunity reports, longitudinal perf history")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    selfprof = obs_sub.add_parser(
+        "selfprof",
+        help="profile a workload under the self-profiling ledger and "
+             "print the per-component dispatch-overhead rollup")
+    selfprof.add_argument("workload", help="registered workload name")
+    selfprof.add_argument("--device", default="rtx",
+                          help="device for the analytic headroom "
+                               "estimate (default rtx)")
+    selfprof.add_argument("--seed", type=int, default=0)
+    selfprof.add_argument("--json", action="store_true",
+                          help="print the full ledger as JSON "
+                               "(deterministic + measured splits)")
+
+    opportunities = obs_sub.add_parser(
+        "opportunities",
+        help="scan a workload's trace for fusible chains, "
+             "loop-invariant rebuilds, and repeated allocations — the "
+             "repro.compile work-list")
+    opportunities.add_argument("workload",
+                               help="registered workload name")
+    opportunities.add_argument("--seed", type=int, default=0)
+    opportunities.add_argument("--top", type=int, default=15,
+                               help="rows to print (default 15)")
+    opportunities.add_argument("--json", action="store_true",
+                               help="print the ranked report as JSON")
+    opportunities.add_argument("-o", "--output", default=None,
+                               help="also write the JSON report here")
+
+    history = obs_sub.add_parser(
+        "history",
+        help="longitudinal perf history: record / show / gate")
+    history_sub = history.add_subparsers(dest="history_command",
+                                         required=True)
+    from repro.obs.history import DEFAULT_HISTORY
+
+    h_record = history_sub.add_parser(
+        "record", help="append a structured perf entry (ledger, "
+                       "headroom, opportunities, bench results)")
+    h_record.add_argument("--db", default=DEFAULT_HISTORY,
+                          help=f"history database "
+                               f"(default {DEFAULT_HISTORY})")
+    h_record.add_argument("--workloads", default="nvsa,prae",
+                          help="comma list to profile "
+                               "(default nvsa,prae)")
+    h_record.add_argument("--results", default="benchmarks/results",
+                          help="structured bench results dir to "
+                               "harvest (default benchmarks/results; "
+                               "'' to skip)")
+    h_record.add_argument("--device", default="rtx")
+    h_record.add_argument("--seed", type=int, default=0)
+    h_record.add_argument("--label", default="local",
+                          help="entry label (e.g. ci)")
+
+    h_show = history_sub.add_parser(
+        "show", help="render per-metric trends and change points")
+    h_show.add_argument("--db", default=DEFAULT_HISTORY)
+    h_show.add_argument("--metric", action="append", default=[],
+                        help="restrict to these metrics (repeatable)")
+
+    h_gate = history_sub.add_parser(
+        "gate", help="compare the newest entry against the trailing "
+                     "median; exit 6 on a regression beyond "
+                     "per-metric thresholds")
+    h_gate.add_argument("--db", default=DEFAULT_HISTORY)
+    h_gate.add_argument("--threshold", action="append", default=[],
+                        metavar="METRIC=FRACTION",
+                        help="override/add a gate threshold "
+                             "(negative fraction: lower is worse; "
+                             "'off' ungates; repeatable)")
+    h_gate.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
 
 
 def _profile(workload: str, seed: int):
@@ -172,9 +271,17 @@ def _run_report(args: argparse.Namespace) -> int:
     from repro.obs.runrec import load_record
     device = get_device(args.device)
     baseline = load_record(args.baseline) if args.baseline else None
+    history = None
+    if getattr(args, "history", None):
+        from repro.obs.history import load_history
+        try:
+            history = load_history(args.history)
+        except OSError as exc:
+            raise SystemExit(f"repro report: {exc}")
     trace = _profile(args.workload, args.seed)
     output = args.output or f"{args.workload}_report.html"
-    write_report(trace, output, device=device, baseline=baseline)
+    write_report(trace, output, device=device, baseline=baseline,
+                 history=history)
     print(f"wrote {output} ({len(trace)} events, "
           f"{len(trace.spans)} spans; self-contained HTML — open in "
           "any browser)")
@@ -248,6 +355,114 @@ def _run_compare(args: argparse.Namespace) -> int:
     return EXIT_REGRESSION
 
 
+def _run_selfprof(args: argparse.Namespace) -> int:
+    from repro.core.analysis import latency_breakdown
+    from repro.hwsim.devices import get_device
+    from repro.obs import selfprof
+    device = get_device(args.device)
+    with selfprof.scoped_ledger() as ledger:
+        trace = _profile(args.workload, args.seed)
+    projected = latency_breakdown(trace, device).total_time
+    if args.json:
+        doc = ledger.to_dict()
+        doc["deterministic"]["modeled_headroom_pct"] = round(  # type: ignore[index]
+            100.0 * ledger.modeled_headroom(projected), 6)
+        doc["digest"] = ledger.digest()
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(ledger.render())
+        print(f"compiled-tier headroom "
+              f"{100.0 * ledger.modeled_headroom(projected):.1f}% of "
+              f"projected {device.name} latency (modeled overhead vs "
+              f"analytic kernel projection; deterministic)")
+        print(f"ledger digest {ledger.digest()[:16]}")
+    return 0
+
+
+def _run_opportunities(args: argparse.Namespace) -> int:
+    from repro.obs.opportune import analyze_trace
+    trace = _profile(args.workload, args.seed)
+    report = analyze_trace(trace)
+    payload = json.dumps(report.to_dict(), indent=1, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+    if args.json:
+        print(payload)
+    else:
+        print(report.render(top=args.top))
+        print(f"report digest {report.digest()[:16]}"
+              + (f"; wrote {args.output}" if args.output else ""))
+    return 0
+
+
+def _run_history(args: argparse.Namespace) -> int:
+    from repro.obs.history import (EXIT_TREND_REGRESSION, append_entry,
+                                   detect_regressions, entry_from_sources,
+                                   load_history, parse_policy_overrides,
+                                   render_history)
+    if args.history_command == "record":
+        workloads = tuple(w.strip() for w in args.workloads.split(",")
+                          if w.strip())
+        from repro.hwsim.devices import get_device
+        entry = entry_from_sources(
+            workloads=workloads,
+            results_dir=args.results or None,
+            device=get_device(args.device),
+            seed=args.seed, label=args.label)
+        append_entry(entry, args.db)
+        print(f"appended entry {entry.digest()[:16]} "
+              f"({len(entry.metrics)} metrics, label={entry.label}) "
+              f"to {args.db}")
+        return 0
+    try:
+        entries = load_history(args.db)
+    except OSError as exc:
+        raise SystemExit(f"repro obs history: {exc}")
+    if args.history_command == "show":
+        print(render_history(entries, args.metric or None))
+        return 0
+    # gate
+    try:
+        overrides = parse_policy_overrides(args.threshold)
+    except ValueError as exc:
+        raise SystemExit(f"repro obs history gate: {exc}")
+    if len(entries) < 2:
+        print(f"history gate: {len(entries)} entry(ies) in {args.db}; "
+              "nothing to gate against")
+        return 0
+    regressions = detect_regressions(entries, overrides)
+    gated = sum(1 for m in entries[-1].metrics
+                if _gated(m, overrides))
+    if not regressions:
+        print(f"history gate: OK — newest entry within budget on "
+              f"{gated} gated metric(s) "
+              f"(vs median of up to {min(len(entries) - 1, 5)} "
+              f"prior entries)")
+        return 0
+    for regression in regressions:
+        print(regression.render())
+    print(f"\nhistory gate: {len(regressions)} regression(s) "
+          f"across {gated} gated metric(s)")
+    if args.warn_only:
+        print("warn-only: exiting 0")
+        return 0
+    return EXIT_TREND_REGRESSION
+
+
+def _gated(metric: str, overrides) -> bool:
+    from repro.obs.history import policy_for
+    return policy_for(metric, overrides).threshold is not None
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "selfprof":
+        return _run_selfprof(args)
+    if args.obs_command == "opportunities":
+        return _run_opportunities(args)
+    return _run_history(args)
+
+
 def run_obs_command(args: argparse.Namespace) -> Optional[int]:
     """Handle an observability subcommand; ``None`` if not ours."""
     if args.command == "trace":
@@ -260,4 +475,6 @@ def run_obs_command(args: argparse.Namespace) -> Optional[int]:
         return _run_compare(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "obs":
+        return _run_obs(args)
     return None

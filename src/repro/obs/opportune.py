@@ -1,0 +1,335 @@
+"""Trace-derived opportunity analyzer: the compiler's work-list.
+
+Scans one profiled :class:`~repro.core.profiler.Trace` for the three
+optimization patterns the compiled execution tier (ROADMAP item 1,
+``repro.compile``) is designed to exploit, and emits a ranked report:
+
+* **fusible elementwise chains** — runs of producer-consumer-linked
+  elementwise ops inside one span: a fused kernel dispatches once
+  instead of ``n`` times, saving ``(n - 1)`` dispatches and the
+  intermediate materializations;
+* **loop-invariant rebuilds** — the same op executed repeatedly with
+  identical input/output shapes inside one (phase, stage), the
+  signature of a codebook or lookup table rebuilt every iteration:
+  hoisting keeps one dispatch and drops ``(n - 1)`` dispatches *and*
+  their kernel work;
+* **repeated same-shape allocations** — many ops writing outputs of
+  one identical shape: a compiled plan pre-allocates the buffer once
+  and reuses it, trading ``n`` allocations for one.
+
+Projected savings are computed from the **frozen dispatch cost
+model** (:data:`repro.obs.selfprof.MODELED_COMPONENT_NS`), never from
+measured wall time, so the report — ids, ranking, and projected ns —
+is a pure function of the op stream: two seeded runs produce
+bit-identical reports (asserted in tests), which is what lets
+:mod:`repro.obs.history` gate on the numbers and what makes the
+report a stable work-list for the plan compiler to consume.
+Measured wall time rides along per opportunity as context
+(``measured_ns``, excluded from :func:`OpportunityReport.digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profiler import Trace, TraceEvent
+from repro.core.taxonomy import OpCategory
+from repro.obs.selfprof import MODELED_OVERHEAD_NS_PER_OP
+from repro.obs.spans import SpanRecord
+
+__all__ = ["Opportunity", "OpportunityReport", "analyze_trace",
+           "MODELED_ALLOC_NS", "MIN_CHAIN", "MIN_REPEATS",
+           "MIN_ALLOC_SITES"]
+
+#: Modeled cost of one numpy output allocation (ns); part of the same
+#: frozen cost model as MODELED_COMPONENT_NS.
+MODELED_ALLOC_NS = 300
+
+#: An elementwise chain must link at least this many ops to be worth
+#: a fused kernel.
+MIN_CHAIN = 3
+
+#: An op must repeat at least this many times with identical shapes
+#: in one (phase, stage) to be reported as loop-invariant.
+MIN_REPEATS = 4
+
+#: A shape must be written by at least this many events to be worth a
+#: pre-planned buffer.
+MIN_ALLOC_SITES = 8
+
+
+@dataclass
+class Opportunity:
+    """One ranked entry of the compiler work-list."""
+
+    kind: str                   #: "fuse_chain" | "hoist_invariant" | "prealloc"
+    title: str
+    projected_saved_ns: int     #: deterministic (frozen cost model)
+    measured_ns: float          #: wall s of the involved events (context)
+    eids: Tuple[int, ...]       #: the events the rewrite covers
+    span_path: str              #: innermost span path of the first event
+    ops: Tuple[str, ...]        #: op names involved, in order
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self, deterministic_only: bool = False) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "title": self.title,
+            "projected_saved_ns": self.projected_saved_ns,
+            "eids": list(self.eids),
+            "span_path": self.span_path,
+            "ops": list(self.ops),
+            "detail": dict(sorted(self.detail.items())),
+        }
+        if not deterministic_only:
+            out["measured_ns"] = self.measured_ns
+        return out
+
+
+@dataclass
+class OpportunityReport:
+    """Ranked opportunities for one trace."""
+
+    workload: str
+    opportunities: List[Opportunity]
+
+    @property
+    def total_projected_saved_ns(self) -> int:
+        return sum(o.projected_saved_ns for o in self.opportunities)
+
+    def by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for opportunity in self.opportunities:
+            out[opportunity.kind] = out.get(opportunity.kind, 0) + 1
+        return out
+
+    def to_dict(self, deterministic_only: bool = False) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "total_projected_saved_ns": self.total_projected_saved_ns,
+            "by_kind": dict(sorted(self.by_kind().items())),
+            "opportunities": [o.to_dict(deterministic_only)
+                              for o in self.opportunities],
+        }
+
+    def digest(self) -> str:
+        """sha256 over the deterministic view (measured ns excluded)."""
+        canonical = json.dumps(self.to_dict(deterministic_only=True),
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def render(self, top: int = 15) -> str:
+        from repro.core.report import render_table  # deferred (cycle)
+        rows: List[List[object]] = []
+        for opportunity in self.opportunities[:top]:
+            rows.append([
+                opportunity.kind,
+                opportunity.title[:44],
+                f"{opportunity.projected_saved_ns / 1e3:.1f}",
+                len(opportunity.eids),
+                opportunity.span_path[:40] or "-",
+            ])
+        table = render_table(
+            ["kind", "opportunity", "saved us", "events", "span"],
+            rows,
+            title=f"fusion/hoist/prealloc opportunities: "
+                  f"{self.workload or '<trace>'}")
+        counts = ", ".join(f"{kind}={count}" for kind, count
+                           in sorted(self.by_kind().items())) or "none"
+        return (table
+                + f"\n{len(self.opportunities)} opportunities ({counts}); "
+                f"projected dispatch savings "
+                f"{self.total_projected_saved_ns / 1e6:.3f} ms "
+                f"(frozen cost model, {MODELED_OVERHEAD_NS_PER_OP} ns "
+                f"per eliminated dispatch)")
+
+
+# ---------------------------------------------------------------------------
+# span-path resolution
+# ---------------------------------------------------------------------------
+
+
+def _span_paths(trace: Trace) -> Dict[int, str]:
+    """sid -> ``root;...;span`` name path for every collected span."""
+    spans = [s for s in trace.spans if isinstance(s, SpanRecord)]
+    by_sid = {s.sid: s for s in spans}
+    paths: Dict[int, str] = {}
+
+    def path_of(sid: int) -> str:
+        if sid in paths:
+            return paths[sid]
+        record = by_sid[sid]
+        names: List[str] = []
+        cursor: Optional[SpanRecord] = record
+        seen = set()
+        while cursor is not None and cursor.sid not in seen:
+            seen.add(cursor.sid)
+            names.append(cursor.name)
+            cursor = by_sid.get(cursor.parent) \
+                if cursor.parent is not None else None
+        paths[sid] = ";".join(reversed(names))
+        return paths[sid]
+
+    for sid in by_sid:
+        path_of(sid)
+    return paths
+
+
+def _event_span_path(event: TraceEvent, paths: Dict[int, str]) -> str:
+    sid = getattr(event, "sid", None)
+    return paths.get(sid, "") if sid is not None else ""
+
+
+# ---------------------------------------------------------------------------
+# detectors
+# ---------------------------------------------------------------------------
+
+
+def _find_fusible_chains(events: Sequence[TraceEvent],
+                         paths: Dict[int, str],
+                         min_chain: int) -> List[Opportunity]:
+    """Producer-consumer runs of elementwise ops inside one span."""
+    out: List[Opportunity] = []
+    chain: List[TraceEvent] = []
+
+    def flush() -> None:
+        if len(chain) >= min_chain:
+            saved = (len(chain) - 1) * MODELED_OVERHEAD_NS_PER_OP
+            out.append(Opportunity(
+                kind="fuse_chain",
+                title="fuse " + "+".join(e.name for e in chain[:4])
+                      + ("+..." if len(chain) > 4 else ""),
+                projected_saved_ns=saved,
+                measured_ns=sum(e.wall_time for e in chain) * 1e9,
+                eids=tuple(e.eid for e in chain),
+                span_path=_event_span_path(chain[0], paths),
+                ops=tuple(e.name for e in chain),
+                detail={"length": len(chain),
+                        "eliminated_dispatches": len(chain) - 1,
+                        "intermediate_bytes": sum(
+                            e.bytes_written for e in chain[:-1])},
+            ))
+        chain.clear()
+
+    for event in events:
+        linkable = (
+            event.category is OpCategory.ELEMENTWISE
+            and (not chain
+                 or (chain[-1].eid in event.parents
+                     and getattr(event, "sid", None)
+                     == getattr(chain[-1], "sid", None)
+                     and event.phase == chain[-1].phase
+                     and event.stage == chain[-1].stage)))
+        if linkable:
+            chain.append(event)
+        else:
+            flush()
+            if event.category is OpCategory.ELEMENTWISE:
+                chain.append(event)
+    flush()
+    return out
+
+
+def _invariant_key(event: TraceEvent) -> Tuple[object, ...]:
+    return (event.phase, event.stage, event.name,
+            tuple(event.input_shapes), tuple(event.output_shape),
+            getattr(event, "sid", None) is None)
+
+
+def _find_loop_invariants(events: Sequence[TraceEvent],
+                          paths: Dict[int, str],
+                          min_repeats: int) -> List[Opportunity]:
+    """Identically-shaped repeated ops within one (phase, stage)."""
+    groups: Dict[Tuple[object, ...], List[TraceEvent]] = {}
+    for event in events:
+        groups.setdefault(_invariant_key(event), []).append(event)
+    out: List[Opportunity] = []
+    for key, members in groups.items():
+        if len(members) < min_repeats:
+            continue
+        # identical flops per repeat is the loop-invariant signature —
+        # a data-dependent op (different work each iteration) is not
+        # hoistable even when its shapes repeat
+        if len({e.flops for e in members}) != 1:
+            continue
+        first = members[0]
+        saved = (len(members) - 1) * MODELED_OVERHEAD_NS_PER_OP
+        out.append(Opportunity(
+            kind="hoist_invariant",
+            title=f"hoist {first.name} x{len(members)} out of "
+                  f"{first.stage or first.phase or 'untagged'}",
+            projected_saved_ns=saved,
+            measured_ns=sum(e.wall_time for e in members[1:]) * 1e9,
+            eids=tuple(e.eid for e in members),
+            span_path=_event_span_path(first, paths),
+            ops=(first.name,),
+            detail={"repeats": len(members),
+                    "phase": first.phase, "stage": first.stage,
+                    "output_shape": list(first.output_shape),
+                    "flops_per_repeat": first.flops},
+        ))
+    return out
+
+
+def _find_repeated_allocations(events: Sequence[TraceEvent],
+                               paths: Dict[int, str],
+                               min_sites: int) -> List[Opportunity]:
+    """Many events writing outputs of one identical shape."""
+    groups: Dict[Tuple[Tuple[int, ...], int], List[TraceEvent]] = {}
+    for event in events:
+        shape = tuple(event.output_shape)
+        if not shape or event.bytes_written <= 0:
+            continue
+        groups.setdefault((shape, event.bytes_written), []).append(event)
+    out: List[Opportunity] = []
+    for (shape, nbytes), members in groups.items():
+        if len(members) < min_sites:
+            continue
+        saved = (len(members) - 1) * MODELED_ALLOC_NS
+        names = sorted({e.name for e in members})
+        out.append(Opportunity(
+            kind="prealloc",
+            title=f"pre-plan {nbytes}B buffer shape "
+                  f"{'x'.join(map(str, shape))} ({len(members)} allocs)",
+            projected_saved_ns=saved,
+            measured_ns=0.0,
+            eids=tuple(e.eid for e in members),
+            span_path=_event_span_path(members[0], paths),
+            ops=tuple(names[:8]),
+            detail={"allocations": len(members),
+                    "bytes_each": nbytes,
+                    "output_shape": list(shape)},
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def analyze_trace(trace: Trace,
+                  min_chain: int = MIN_CHAIN,
+                  min_repeats: int = MIN_REPEATS,
+                  min_alloc_sites: int = MIN_ALLOC_SITES
+                  ) -> OpportunityReport:
+    """Rank the trace's fusion/hoist/prealloc opportunities.
+
+    Deterministic: ranking is by projected savings (frozen cost
+    model) with ``(kind, first eid)`` as the tie-break, so equal-value
+    opportunities order identically across runs.
+    """
+    paths = _span_paths(trace)
+    events = list(trace.events)
+    opportunities = (
+        _find_fusible_chains(events, paths, min_chain)
+        + _find_loop_invariants(events, paths, min_repeats)
+        + _find_repeated_allocations(events, paths, min_alloc_sites))
+    opportunities.sort(
+        key=lambda o: (-o.projected_saved_ns, o.kind,
+                       o.eids[0] if o.eids else -1))
+    return OpportunityReport(workload=trace.workload or "",
+                             opportunities=opportunities)

@@ -427,13 +427,73 @@ def _section_baseline(trace: Trace, device: DeviceSpec,
             f"<pre>{escape(comparison.render())}</pre>")
 
 
+def _section_trends(history: Optional[Sequence[object]]) -> str:
+    """Longitudinal perf trends: one sparkline row per history metric.
+
+    ``history`` is a list of :class:`repro.obs.history.HistoryEntry`
+    (kept untyped here so the report module imports nothing from the
+    history store unless the section is requested).
+    """
+    if not history:
+        return ""
+    from repro.obs.history import (detect_change_points, metric_series,
+                                   policy_for, sparkline_svg)
+    names = sorted({m for e in history for m in e.metrics})  # type: ignore[attr-defined]
+    if not names:
+        return ""
+    rows: List[str] = []
+    for metric in names:
+        series = metric_series(history, metric)  # type: ignore[arg-type]
+        if not series:
+            continue
+        shifts = detect_change_points(series)
+        delta = ""
+        if len(series) >= 2 and series[-2] != 0:
+            rel = (series[-1] - series[-2]) / abs(series[-2])
+            delta = f"{rel:+.1%}"
+        policy = policy_for(metric)
+        gate = ("-" if policy.threshold is None
+                else f"{policy.threshold:.0%}")
+        spark = sparkline_svg(series[-48:],
+                              change_points=[s - max(0, len(series) - 48)
+                                             for s in shifts])
+        rows.append(
+            f"<tr><td>{escape(metric)}</td>"
+            f"<td>{len(series)}</td>"
+            f"<td>{series[-1]:.6g}</td>"
+            f"<td>{escape(delta) or '-'}</td>"
+            f"<td>{spark}</td>"
+            f"<td>{escape(','.join(map(str, shifts)) or '-')}</td>"
+            f"<td>{escape(gate)}</td></tr>")
+    first = history[0]
+    last = history[-1]
+    window = (f"{len(history)} entries "
+              f"({getattr(first, 'created', '') or '?'} .. "
+              f"{getattr(last, 'created', '') or '?'})")
+    return ("<h2 id=trends>perf trends "
+            "<span class=meta>(longitudinal history)</span></h2>"
+            f"<p class=meta>{escape(window)}; red dashes mark "
+            "detected change points (binary segmentation); gated "
+            "metrics regress CI at the listed budget.</p>"
+            "<table><thead><tr><th>metric</th><th>n</th><th>last</th>"
+            "<th>delta</th><th>trend</th><th>shifts@</th>"
+            "<th>gate</th></tr></thead>"
+            f"<tbody>{''.join(rows)}</tbody></table>")
+
+
 # ---------------------------------------------------------------------------
 # entry points
 
 
 def render_report(trace: Trace, device: DeviceSpec = RTX_2080TI,
-                  baseline: Optional[RunRecord] = None) -> str:
-    """The full single-file HTML report for ``trace`` on ``device``."""
+                  baseline: Optional[RunRecord] = None,
+                  history: Optional[Sequence[object]] = None) -> str:
+    """The full single-file HTML report for ``trace`` on ``device``.
+
+    ``history`` (a list of :class:`repro.obs.history.HistoryEntry`)
+    adds the longitudinal perf-trend section — per-metric sparklines
+    with change-point markers.
+    """
     sections = [
         _section_header(trace, device),
         _section_timeline(trace),
@@ -441,6 +501,7 @@ def render_report(trace: Trace, device: DeviceSpec = RTX_2080TI,
         _section_kstats(trace, device),
         _section_roofline(trace, device),
         _section_sparsity(trace),
+        _section_trends(history),
         _section_baseline(trace, device, baseline),
     ]
     title = escape(f"run report: {trace.workload or 'trace'}")
@@ -454,7 +515,9 @@ def render_report(trace: Trace, device: DeviceSpec = RTX_2080TI,
 
 def write_report(trace: Trace, path: str,
                  device: DeviceSpec = RTX_2080TI,
-                 baseline: Optional[RunRecord] = None) -> None:
+                 baseline: Optional[RunRecord] = None,
+                 history: Optional[Sequence[object]] = None) -> None:
     """Write the HTML run report to ``path``."""
     with open(path, "w") as handle:
-        handle.write(render_report(trace, device, baseline=baseline))
+        handle.write(render_report(trace, device, baseline=baseline,
+                                   history=history))

@@ -33,22 +33,23 @@ follows.
 from __future__ import annotations
 
 import threading
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.clock import perf_s
 from repro.obs.tracectx import (TraceContext, current_trace_context,
                                 trace_scope)
 
 #: Process-wide monotonic epoch.  Every span and op timestamp in this
-#: process is a ``perf_counter`` offset from this origin.
-_EPOCH = time.perf_counter()
+#: process is a ``perf_counter`` offset from this origin (read through
+#: the approved clock helpers in :mod:`repro.obs.clock`; RL107).
+_EPOCH = perf_s()
 
 
 def now() -> float:
     """Seconds since the process-wide tracing epoch (monotonic)."""
-    return time.perf_counter() - _EPOCH
+    return perf_s() - _EPOCH
 
 
 @dataclass

@@ -29,6 +29,7 @@ import time
 from typing import Dict, Optional
 
 from repro.hwsim.devices import get_device, parse_device_list
+from repro.obs.clock import perf_s
 from repro.serve.batcher import BatchPolicy
 from repro.serve.loadgen import (LoadSpec, load_schedule, open_loop,
                                  parse_mix, run_closed_loop,
@@ -217,12 +218,12 @@ def run_serve_command(args: "argparse.Namespace") -> Optional[int]:
             if telemetry is not None:
                 server.attach_telemetry(telemetry)
             server.start()
-            t0 = time.perf_counter()
+            t0 = perf_s()
             report = run_closed_loop(
                 server, spec, clients=args.clients,
                 requests_per_client=args.requests_per_client)
             server.stop(drain=True)
-            elapsed = time.perf_counter() - t0
+            elapsed = perf_s() - t0
             print(f"closed loop: {report.issued} issued, "
                   f"{report.completed} completed "
                   f"({report.rejected} rejected) in {elapsed:.2f}s")

@@ -28,12 +28,12 @@ import contextlib
 import copy
 import queue as _stdqueue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from repro.hwsim.device import DeviceSpec
 from repro.obs import metrics as _metrics
+from repro.obs.clock import perf_s
 from repro.obs.spans import SpanCollector, SpanRecord
 from repro.obs.spans import span as _span
 from repro.resilience.faults import FaultPlan
@@ -138,7 +138,7 @@ class Worker:
             # op counters mid-run; each batch gets a private copy.
             plan = copy.deepcopy(plan)
         collector = SpanCollector()
-        start = time.perf_counter()
+        start = perf_s()
         # the batch's trace context becomes ambient for the whole
         # execution, so runner attempts and profile spans all carry
         # the batch trace id and stay linkable to the member requests
@@ -155,7 +155,7 @@ class Worker:
                     outcome = self.runner.run_workload(
                         batch.workload, seed=batch.seed,
                         fault_plan=plan, **batch.params)
-        wall = time.perf_counter() - start
+        wall = perf_s() - start
         self.batches_executed += 1
         return BatchResult(
             batch=batch, status=outcome.status, worker=self.name,

@@ -32,13 +32,13 @@ from __future__ import annotations
 import copy
 import queue as _stdqueue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis import latency_breakdown
 from repro.hwsim.device import DeviceSpec
 from repro.hwsim.devices import RTX_2080TI
+from repro.obs.clock import perf_s
 from repro.obs.metrics import RuntimeMetrics
 from repro.resilience.faults import FaultPlan
 from repro.resilience.runner import (STATUS_DEGRADED, STATUS_OK,
@@ -230,9 +230,9 @@ class InferenceServer:
         schedule = mint_schedule(schedule)
         batches, rejections = plan_batches(
             schedule, self.config.batch, self.config.admission)
-        start = time.perf_counter()
+        start = perf_s()
         results = self.pool.execute(batches)
-        wall = time.perf_counter() - start
+        wall = perf_s() - start
 
         responses = [rejection(request, reason)
                      for request, reason in rejections]
@@ -339,13 +339,13 @@ class InferenceServer:
     # -- live mode -----------------------------------------------------------
     def clock(self) -> float:
         """Seconds on the live service clock (0 at :meth:`start`)."""
-        return time.perf_counter() - self._epoch
+        return perf_s() - self._epoch
 
     def start(self) -> None:
         """Bring up the live queue → batcher → pool pipeline."""
         if self._threads:
             raise RuntimeError("server already started")
-        self._epoch = time.perf_counter()
+        self._epoch = perf_s()
         self._queue = RequestQueue(self.config.admission)
         self._channel = _stdqueue.Queue()
         self._batcher = LiveBatcher(self._queue, self.config.batch,

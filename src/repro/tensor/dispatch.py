@@ -30,6 +30,8 @@ import numpy as np
 from repro.core.profiler import TraceEvent
 from repro.core.taxonomy import OpCategory, category_for
 from repro.obs import metrics as _metrics
+from repro.obs import selfprof as _selfprof
+from repro.obs.clock import perf_ns as _perf_ns
 from repro.obs.spans import current_span as _current_span
 from repro.obs.spans import now as _now
 from repro.tensor.context import (InjectedFaultError, ProfileContext,
@@ -187,6 +189,14 @@ def run_op(name: str,
     bytes_written:
         Override for written bytes; defaults to the output's nbytes.
     """
+    if _selfprof.ENABLED:
+        # self-profiling path: identical semantics, with paired
+        # perf_ns probes bracketing each dispatch component
+        return _run_op_ledgered(
+            name, category, compute, inputs, flops=flops,
+            flop_factor=flop_factor, extra_bytes_read=extra_bytes_read,
+            bytes_written=bytes_written,
+            measure_sparsity=measure_sparsity)
     if category is None:
         category = category_for(name)
     arrays, bytes_read, shapes, parents = _split_inputs(inputs)
@@ -247,6 +257,113 @@ def run_op(name: str,
         _metrics.observe_op(category.value, elapsed, float(flops),
                             bytes_read + extra_bytes_read + written,
                             live_bytes)
+    return result
+
+
+def _run_op_ledgered(name: str,
+                     category: Optional[OpCategory],
+                     compute: Callable[..., np.ndarray],
+                     inputs: Sequence[InputLike],
+                     *,
+                     flops: Optional[float],
+                     flop_factor: float,
+                     extra_bytes_read: int,
+                     bytes_written: Optional[int],
+                     measure_sparsity: bool) -> Tensor:
+    """:func:`run_op` with dispatch-overhead self-profiling.
+
+    Semantically identical to the plain path — it must produce the
+    same trace event, counters, and output tensor (asserted by
+    counter-digest equality in ``tests/test_selfprof.py``) — but each
+    component of the dispatch is bracketed by
+    :func:`repro.obs.clock.perf_ns` probes placed at *shared segment
+    boundaries*: consecutive integer-ns deltas telescope, so the
+    component times of one op sum exactly to its instrumented wall
+    time.  The deltas feed the active
+    :class:`repro.obs.selfprof.DispatchLedger`.
+    """
+    ledger = _selfprof.active_ledger()
+    p0 = _perf_ns()
+    if category is None:
+        category = category_for(name)
+    p1 = _perf_ns()                                # taxonomy
+    arrays, bytes_read, shapes, parents = _split_inputs(inputs)
+    p2 = _perf_ns()                                # inputs
+    ctx = active_context()
+    injection = _consider_fault(name)
+    p3 = _perf_ns()                                # fault
+    if ctx is None:
+        # untraced dispatch records no event, so there is nothing to
+        # attribute — mirror the plain untraced path, skip the ledger
+        out = compute(*arrays)
+        out_arr = np.asarray(out)
+        _, poison, _ = _apply_injection(injection, 0.0)
+        if poison is not None:
+            out_arr = _poison_array(out_arr, poison)
+        return Tensor(out_arr)
+
+    t_start = _now()
+    out = compute(*arrays)
+    elapsed = _now() - t_start
+    out_arr = np.asarray(out)
+    p4 = _perf_ns()                                # kernel
+    elapsed, poison, extra_live = _apply_injection(injection, elapsed)
+    if poison is not None:
+        out_arr = _poison_array(out_arr, poison)
+    if flops is None:
+        flops = flop_factor * out_arr.size
+    written = out_arr.nbytes if bytes_written is None else bytes_written
+    sparsity = _measure_sparsity(out_arr) if measure_sparsity else 0.0
+    if poison is not None:
+        flops = poison
+        sparsity = poison
+    p5 = _perf_ns()                                # counters
+    eid = ctx.next_eid()
+    sid = _current_sid()
+    p6 = _perf_ns()                                # span
+    result = Tensor(out_arr, producer=eid)
+    live_bytes = ctx.live_bytes + extra_live
+    event = TraceEvent(
+        eid=eid,
+        name=name,
+        category=category,
+        phase=ctx.current_phase,
+        stage=ctx.current_stage,
+        flops=float(flops),
+        bytes_read=bytes_read + extra_bytes_read,
+        bytes_written=written,
+        input_shapes=shapes,
+        output_shape=out_arr.shape,
+        output_sparsity=sparsity,
+        wall_time=elapsed,
+        parents=parents,
+        live_bytes=live_bytes,
+        t_start=t_start,
+        sid=sid,
+    )
+    ctx.record(event)
+    p7 = _perf_ns()                                # record
+    observer = active_op_observer()
+    if observer is not None:
+        observer.observe_op(event, arrays, out_arr)
+    p8 = _perf_ns()                                # observer
+    if _metrics.ENABLED:
+        _metrics.observe_op(category.value, elapsed, float(flops),
+                            bytes_read + extra_bytes_read + written,
+                            live_bytes)
+    p9 = _perf_ns()                                # metrics
+    if ledger is not None:
+        ledger.record(category.value, {
+            "taxonomy": p1 - p0,
+            "inputs": p2 - p1,
+            "fault": p3 - p2,
+            "kernel": p4 - p3,
+            "counters": p5 - p4,
+            "span": p6 - p5,
+            "record": p7 - p6,
+            "observer": p8 - p7,
+            "metrics": p9 - p8,
+        })
     return result
 
 

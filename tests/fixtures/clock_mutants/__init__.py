@@ -1,0 +1,8 @@
+"""Seeded raw-clock mutants RL107 must keep flagging.
+
+Mirrors ``tests/fixtures/tracing_mutants``: a deliberately broken
+miniature of a timed execution path, linted by tests and CI to prove
+the clock analyzer still catches the bug class it was built for —
+a module reading ``time.*`` clocks directly instead of routing
+through the approved helpers in ``repro.obs.clock``.
+"""

@@ -1,0 +1,31 @@
+"""Mutant — a timed path reading raw ``time.*`` clocks directly.
+
+A miniature of a worker loop that measures wall time with
+``time.perf_counter()`` / ``time.perf_counter_ns()`` and stamps
+records with ``time.time()``, bypassing ``repro.obs.clock``.  Its
+timestamps live on a different substrate from the span epoch and the
+ledger probes, so latency attribution silently skews.  RL107 must
+flag all five call sites, across every import spelling.
+"""
+
+import time
+import time as _t
+from time import monotonic
+from time import perf_counter as _pc
+
+
+def run_batch(runner, batch):
+    start = time.perf_counter()
+    result = runner.run(batch)
+    elapsed_ns = _t.perf_counter_ns() - int(start * 1e9)
+    return result, elapsed_ns
+
+
+def stamp(record):
+    record.created = time.time()
+    record.deadline = monotonic() + 5.0
+    return record
+
+
+def probe():
+    return _pc()
