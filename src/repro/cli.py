@@ -141,6 +141,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     from repro.fuzz.cli import add_fuzz_subcommands
     add_fuzz_subcommands(sub)
+
+    from repro.compile.cli import add_compile_subcommands
+    add_compile_subcommands(sub)
     return parser
 
 
@@ -172,6 +175,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fuzz":
         from repro.fuzz.cli import run_fuzz_command
         return run_fuzz_command(args)
+
+    if args.command == "compile":
+        from repro.compile.cli import run_compile_command
+        return run_compile_command(args)
 
     if args.command == "analyze-trace":
         from repro.core.report import render_shares

@@ -1,0 +1,93 @@
+"""Reusable output arena: the plan's pre-planned allocation schedule.
+
+Eager execution allocates a fresh numpy output for every op; the
+``prealloc`` opportunities show the same shapes being allocated
+hundreds of times per run.  A compiled plan ships an allocation
+schedule (:class:`~repro.compile.plan.ArenaBuffer` rows) and each
+:class:`~repro.compile.executor.PlanSession` owns one :class:`Arena`
+over it:
+
+* **hoist leaders** check their computed output in once
+  (:meth:`Arena.place`); every later repeat is served the *same*
+  arena-owned array (:meth:`Arena.get`) — ``sites - 1`` allocations
+  and kernels gone, with tensor aliasing safe under the runtime's
+  immutable-by-convention contract;
+* remaining ``prealloc`` rows are the forward-looking schedule for
+  the process-worker tier (ROADMAP item 2): buffers are materialized
+  **lazily** (first checkout), so unused entries cost nothing here
+  while the schedule rides along in the serialized plan.
+
+Arenas are per-session and therefore per-thread; nothing here locks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.compile.plan import ArenaBuffer, PlanError
+
+__all__ = ["Arena"]
+
+
+class Arena:
+    """Lazy buffer pool keyed by the owning step's eid."""
+
+    def __init__(self, buffers: Iterable[ArenaBuffer]):
+        self._spec: Dict[int, ArenaBuffer] = {b.eid: b for b in buffers}
+        self._slots: Dict[int, np.ndarray] = {}
+        self.placements = 0
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._spec)
+
+    @property
+    def materialized(self) -> int:
+        return len(self._slots)
+
+    def _ensure(self, eid: int) -> np.ndarray:
+        slot = self._slots.get(eid)
+        if slot is None:
+            spec = self._spec.get(eid)
+            if spec is None:
+                raise PlanError(f"no arena buffer planned for eid {eid}")
+            slot = np.empty(spec.shape,
+                            dtype=spec.dtype or np.float64)
+            self._slots[eid] = slot
+        return slot
+
+    def place(self, eid: int, array: np.ndarray) -> np.ndarray:
+        """Check ``array`` into the buffer planned for ``eid``.
+
+        Returns the arena-owned storage (a stable array reused for the
+        whole session); the caller hands that out instead of its own
+        allocation.  Shape/dtype mismatches mean the replay diverged
+        from the plan and surface as :class:`PlanError`.
+        """
+        slot = self._ensure(eid)
+        if slot.shape != array.shape or slot.dtype != array.dtype:
+            raise PlanError(
+                f"arena buffer for eid {eid} is "
+                f"{slot.shape}/{slot.dtype}, got "
+                f"{array.shape}/{array.dtype}")
+        np.copyto(slot, array)
+        self.placements += 1
+        return slot
+
+    def get(self, eid: int) -> Optional[np.ndarray]:
+        """The checked-in buffer for ``eid``, or ``None`` if absent."""
+        slot = self._slots.get(eid)
+        if slot is not None:
+            self.reuses += 1
+        return slot
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "planned": len(self._spec),
+            "materialized": self.materialized,
+            "planned_bytes": sum(b.nbytes for b in self._spec.values()),
+            "placements": self.placements,
+            "reuses": self.reuses,
+        }

@@ -1,0 +1,128 @@
+"""Plan capture: one instrumented eager run -> a :class:`CompiledPlan`.
+
+The capturer is an ``op_observer`` (the PR 6 dispatcher hook): it sees
+every dispatched tensor op *with* its raw output array — dtypes and
+values the trace event intentionally omits — and records the two
+facts replay needs on top of the trace:
+
+* the output **dtype** (plan steps verify shape eagerly and carry the
+  dtype for serialization / arena planning);
+* a sha256 **fingerprint** of the output bytes (size-capped), which is
+  what lets the hoist pass prove a repeated op is genuinely
+  loop-invariant — all repeats produced bit-identical outputs in the
+  capture run — before the executor is allowed to skip its kernel.
+
+Capture is a plain profiled run: ``build()`` stays outside the trace
+(and therefore outside the observer), faults must be absent, and the
+resulting trace is the same object ``Workload.profile()`` returns, so
+the captured counters digest is directly comparable with any eager
+run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.compile.passes import plan_from_trace
+from repro.compile.plan import CompiledPlan, PlanCaptureError
+from repro.core.profiler import Trace, TraceEvent
+from repro.core.taxonomy import category_for
+from repro.tensor.context import active_fault_hook, op_observer
+
+__all__ = ["CapturedOp", "PlanCapturer", "capture_plan",
+           "capture_plan_with_trace", "capture_program_plan",
+           "FINGERPRINT_LIMIT_BYTES"]
+
+#: Outputs larger than this are not fingerprinted (hashing a huge
+#: activation would dominate the capture run); steps without a
+#: fingerprint are simply never hoisted.
+FINGERPRINT_LIMIT_BYTES = 1 << 24
+
+
+@dataclass(frozen=True)
+class CapturedOp:
+    """Observer-side facts about one dispatched op."""
+
+    eid: int
+    name: str
+    output_dtype: str
+    fingerprint: str       #: sha256 of output bytes; "" when over limit
+
+
+class PlanCapturer:
+    """``op_observer`` recording per-op dtype + output fingerprint.
+
+    Only dispatcher-routed ops notify observers, so events recorded
+    via ``record_event`` / ``record_region`` (host-side symbolic
+    regions) are *absent* from :attr:`records` — that absence is what
+    marks them as ``region`` steps in the plan.
+    """
+
+    def __init__(self,
+                 fingerprint_limit: int = FINGERPRINT_LIMIT_BYTES):
+        self.records: Dict[int, CapturedOp] = {}
+        self.fingerprint_limit = fingerprint_limit
+
+    def observe_op(self, event: TraceEvent, inputs, output) -> None:
+        try:
+            category_for(event.name)
+        except KeyError:
+            raise PlanCaptureError(
+                f"op {event.name!r} (eid {event.eid}) is not in the "
+                "OP_CATEGORIES registry; refusing to compile an "
+                "unclassified template")
+        out = np.asarray(output)
+        if 0 < out.nbytes <= self.fingerprint_limit:
+            fingerprint = hashlib.sha256(out.tobytes()).hexdigest()
+        else:
+            fingerprint = ""
+        self.records[event.eid] = CapturedOp(
+            eid=event.eid, name=event.name,
+            output_dtype=str(out.dtype), fingerprint=fingerprint)
+
+
+def capture_plan_with_trace(workload) -> Tuple[CompiledPlan, Trace]:
+    """Profile ``workload`` once under capture; plan + capture trace.
+
+    ``workload`` is any object with the :class:`repro.workloads.base.
+    Workload` surface (``info``, ``params``, ``build``, ``run``,
+    ``profile``).  The capture refuses to run under an active fault
+    hook: injected faults would bake poisoned counters into the plan.
+    """
+    if active_fault_hook() is not None:
+        raise PlanCaptureError(
+            "cannot capture a plan with a fault hook installed — "
+            "the plan would replay injected behavior as ground truth")
+    capturer = PlanCapturer()
+    with op_observer(capturer):
+        trace = workload.profile()
+    plan = plan_from_trace(
+        trace, capturer,
+        workload=getattr(getattr(workload, "info", None), "name", "")
+        or (trace.workload or ""),
+        params=dict(getattr(workload, "params", {}) or {}))
+    return plan, trace
+
+
+def capture_plan(workload) -> CompiledPlan:
+    """:func:`capture_plan_with_trace` returning only the plan."""
+    plan, _ = capture_plan_with_trace(workload)
+    return plan
+
+
+def capture_program_plan(trace: Trace, capturer: PlanCapturer,
+                         workload: str = "",
+                         params: Optional[Dict[str, object]] = None
+                         ) -> CompiledPlan:
+    """Build a plan from an externally captured trace + capturer.
+
+    Lower-level entry for callers that drive their own profiled run —
+    ``repro.fuzz.oracle`` captures generated programs this way rather
+    than through ``Workload.profile``.
+    """
+    return plan_from_trace(trace, capturer, workload=workload,
+                           params=dict(params or {}))

@@ -1,0 +1,246 @@
+"""Optimization passes: ``obs.opportune`` report -> annotated plan.
+
+The passes consume exactly the work-list the opportunity analyzer
+ranks (ISSUE 9 built the report *for* this consumer) and annotate the
+positional step list three ways:
+
+* **fuse** — each ``fuse_chain`` opportunity whose eids are a
+  contiguous run of dispatcher op steps becomes one
+  :class:`~repro.compile.plan.PlanGroup` flushed as a single bulk
+  counters update; every remaining op step gets a singleton group.
+  Chain links are re-verified with the *shared* predicate
+  :func:`repro.obs.opportune.fusible_link`, so the report and the
+  compiled plan cannot disagree about what fuses.
+* **hoist** — a ``hoist_invariant`` opportunity is honored only when
+  every repeat carries the same non-empty capture fingerprint (all
+  repeats produced bit-identical outputs): the first repeat becomes
+  the *leader* (``cache_as``), later repeats set ``reuse_of`` and the
+  executor skips their kernels, serving the leader's arena buffer.
+* **prealloc** — hoist-leader outputs plus ``prealloc`` opportunities
+  become :class:`~repro.compile.plan.ArenaBuffer` entries, the
+  reusable allocation schedule ``repro.compile.arena`` materializes.
+
+Every pass is a pure function of (trace, capture records, report), so
+the resulting plan — and its digest — is deterministic for a seeded
+workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compile.plan import (ArenaBuffer, CompiledPlan,
+                                PlanCaptureError, PlanGroup, PlanStep)
+from repro.core.profiler import Trace, TraceEvent
+from repro.obs.opportune import OpportunityReport, analyze_trace, fusible_link
+
+__all__ = ["plan_from_trace", "build_steps", "fuse_pass", "hoist_pass",
+           "arena_pass"]
+
+MetricRow = Tuple[str, int, float, float, float, int, int]
+
+
+def build_steps(trace: Trace, capturer) -> List[PlanStep]:
+    """Positional step skeleton: one step per trace event.
+
+    Events the capturer observed are ``op`` steps (dispatcher-routed,
+    replayable through their kernel closures); the rest are ``region``
+    steps that the workload re-records eagerly at replay time.
+    """
+    steps: List[PlanStep] = []
+    for index, event in enumerate(trace.events):
+        if event.eid != index:
+            raise PlanCaptureError(
+                f"capture trace is not positional: event {index} "
+                f"carries eid {event.eid}")
+        record = capturer.records.get(event.eid)
+        if record is not None:
+            if record.name != event.name:  # pragma: no cover - defensive
+                raise PlanCaptureError(
+                    f"capture desync at eid {event.eid}: observer saw "
+                    f"{record.name!r}, trace has {event.name!r}")
+            steps.append(PlanStep(
+                eid=event.eid, kind="op", name=event.name, event=event,
+                output_shape=tuple(event.output_shape),
+                output_dtype=record.output_dtype,
+                fingerprint=record.fingerprint))
+        else:
+            steps.append(PlanStep(
+                eid=event.eid, kind="region", name=event.name,
+                event=event,
+                output_shape=tuple(event.output_shape)))
+    return steps
+
+
+def _metric_rows(events: List[TraceEvent]) -> Tuple[MetricRow, ...]:
+    """Pre-aggregate a group the way per-op ``observe_op`` calls would.
+
+    Per-op clamping (NaN/negative flops -> 0, negative bytes -> 0)
+    happens *here*, before summing, so the bulk totals land exactly
+    where ``len(events)`` individual metric updates would put them.
+    Rows are ordered by each category's last event so the final
+    live-byte gauge write matches the group's last op.
+    """
+    acc: Dict[str, List[float]] = {}
+    order: Dict[str, int] = {}
+    for event in events:
+        category = event.category.value
+        flops = event.flops
+        if not (flops == flops and flops > 0.0):
+            flops = 0.0
+        nbytes = event.bytes_read + event.bytes_written
+        if nbytes < 0:
+            nbytes = 0
+        row = acc.get(category)
+        if row is None:
+            row = acc.setdefault(
+                category, [0, 0.0, 0.0, 0.0, 0, 0])
+        row[0] += 1
+        row[1] += event.wall_time
+        row[2] += flops
+        row[3] += float(nbytes)
+        row[4] = event.live_bytes
+        row[5] = max(row[5], event.live_bytes)
+        order[category] = event.eid
+    return tuple(
+        (category, int(acc[category][0]), acc[category][1],
+         acc[category][2], acc[category][3], int(acc[category][4]),
+         int(acc[category][5]))
+        for category in sorted(acc, key=lambda c: order[c]))
+
+
+def fuse_pass(steps: List[PlanStep], report: OpportunityReport
+              ) -> Tuple[List[PlanStep], List[PlanGroup]]:
+    """Assign every op step to a group; fuse reported chains."""
+    chain_at: Dict[int, Tuple[int, ...]] = {}
+    claimed: Dict[int, int] = {}
+    for opportunity in report.opportunities:
+        if opportunity.kind != "fuse_chain":
+            continue
+        eids = opportunity.eids
+        if not eids or any(e in claimed for e in eids):
+            continue
+        if any(e >= len(steps) or steps[e].kind != "op" for e in eids):
+            continue
+        if list(eids) != list(range(eids[0], eids[-1] + 1)):
+            continue
+        events = [steps[e].event for e in eids]
+        agreed = fusible_link(None, events[0]) and all(
+            fusible_link(prev, event)
+            for prev, event in zip(events, events[1:]))
+        if not agreed:
+            raise PlanCaptureError(
+                "fusion pass and opportunity report disagree on chain "
+                f"at eids {eids[0]}..{eids[-1]} — fusible_link must be "
+                "the single shared predicate")
+        chain_at[eids[0]] = eids
+        for eid in eids:
+            claimed[eid] = eids[0]
+
+    groups: List[PlanGroup] = []
+    annotated = list(steps)
+
+    def close_group(kind: str, eids: Tuple[int, ...]) -> None:
+        index = len(groups)
+        groups.append(PlanGroup(
+            index=index, kind=kind, eids=eids,
+            metric_rows=_metric_rows([steps[e].event for e in eids])))
+        for eid in eids:
+            annotated[eid] = dataclasses.replace(
+                annotated[eid], group=index, flush=(eid == eids[-1]))
+
+    for step in steps:
+        if step.kind != "op":
+            continue
+        if step.eid in chain_at:
+            close_group("fused_chain", chain_at[step.eid])
+        elif step.eid not in claimed:
+            close_group("singleton", (step.eid,))
+    return annotated, groups
+
+
+def hoist_pass(steps: List[PlanStep],
+               report: OpportunityReport) -> List[PlanStep]:
+    """Mark proven loop-invariant repeats for kernel skipping."""
+    annotated = list(steps)
+    touched: set = set()
+    for opportunity in report.opportunities:
+        if opportunity.kind != "hoist_invariant":
+            continue
+        eids = opportunity.eids
+        if len(eids) < 2 or any(e in touched for e in eids):
+            continue
+        if any(e >= len(steps) or steps[e].kind != "op" for e in eids):
+            continue
+        fingerprints = {steps[e].fingerprint for e in eids}
+        if "" in fingerprints or len(fingerprints) != 1:
+            # unproven invariance (output too large to fingerprint, or
+            # repeats genuinely differed): keep every kernel
+            continue
+        leader = eids[0]
+        annotated[leader] = dataclasses.replace(
+            annotated[leader], cache_as=True)
+        for eid in eids[1:]:
+            annotated[eid] = dataclasses.replace(
+                annotated[eid], reuse_of=leader)
+        touched.update(eids)
+    return annotated
+
+
+def arena_pass(steps: List[PlanStep],
+               report: OpportunityReport) -> List[ArenaBuffer]:
+    """Plan the reusable-buffer schedule (leaders + prealloc sites)."""
+    buffers: Dict[int, ArenaBuffer] = {}
+    for step in steps:
+        if not step.cache_as:
+            continue
+        reuses = sum(1 for s in steps if s.reuse_of == step.eid)
+        nbytes = step.event.bytes_written
+        if step.output_dtype and step.output_shape:
+            nbytes = int(np.dtype(step.output_dtype).itemsize
+                         * int(np.prod(step.output_shape)))
+        buffers[step.eid] = ArenaBuffer(
+            eid=step.eid, shape=step.output_shape,
+            dtype=step.output_dtype, nbytes=nbytes, sites=reuses + 1)
+    for opportunity in report.opportunities:
+        if opportunity.kind != "prealloc":
+            continue
+        eids = opportunity.eids
+        if not eids or eids[0] in buffers:
+            continue
+        first = steps[eids[0]] if eids[0] < len(steps) else None
+        if first is None or first.kind != "op":
+            continue
+        buffers[eids[0]] = ArenaBuffer(
+            eid=eids[0], shape=first.output_shape,
+            dtype=first.output_dtype,
+            nbytes=int(opportunity.detail.get("bytes_each",
+                                              first.event.bytes_written)),
+            sites=len(eids))
+    return [buffers[eid] for eid in sorted(buffers)]
+
+
+def plan_from_trace(trace: Trace, capturer,
+                    report: Optional[OpportunityReport] = None,
+                    workload: str = "",
+                    params: Optional[Dict[str, object]] = None
+                    ) -> CompiledPlan:
+    """Assemble and validate a :class:`CompiledPlan` from one capture."""
+    from repro.obs.runrec import counters_digest  # deferred (cycle)
+    if report is None:
+        report = analyze_trace(trace)
+    steps = build_steps(trace, capturer)
+    steps, groups = fuse_pass(steps, report)
+    steps = hoist_pass(steps, report)
+    arena = arena_pass(steps, report)
+    plan = CompiledPlan(
+        workload=workload or (trace.workload or ""),
+        params=dict(params or {}),
+        steps=steps, groups=groups, arena=arena,
+        peak_live_bytes=int(trace.metadata.get("peak_live_bytes", 0)),
+        counters_digest=counters_digest(trace))
+    plan.validate()
+    return plan

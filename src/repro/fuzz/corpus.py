@@ -95,9 +95,10 @@ def _prune_leaves(program: OpProgram) -> OpProgram:
 
 def minimize_program(program: OpProgram,
                      rules: Optional[RuleSet] = None,
-                     max_rounds: int = 8) -> OpProgram:
+                     max_rounds: int = 8,
+                     compiled: bool = False) -> OpProgram:
     """Greedy 1-node reduction preserving at least one divergence."""
-    baseline = check_program(program, rules)
+    baseline = check_program(program, rules, compiled=compiled)
     if baseline.ok:
         return program
     current = program
@@ -112,7 +113,8 @@ def minimize_program(program: OpProgram,
             candidate = _prune_leaves(OpProgram(
                 seed=current.seed, leaves=list(current.leaves),
                 nodes=list(candidate_nodes)))
-            if not check_program(candidate, rules).ok:
+            if not check_program(candidate, rules,
+                                 compiled=compiled).ok:
                 current = candidate
                 shrunk = True
         if not shrunk:
@@ -122,16 +124,17 @@ def minimize_program(program: OpProgram,
 
 def entry_for_program(result: CheckResult,
                       rules: Optional[RuleSet] = None,
-                      minimize: bool = True) -> CrashEntry:
+                      minimize: bool = True,
+                      compiled: bool = False) -> CrashEntry:
     """Build the corpus entry for a divergent program check."""
     program = result.program
     minimized = False
     if minimize:
-        reduced = minimize_program(program, rules)
+        reduced = minimize_program(program, rules, compiled=compiled)
         minimized = len(reduced.nodes) < len(program.nodes)
         program = reduced
         if minimized:
-            result = check_program(program, rules)
+            result = check_program(program, rules, compiled=compiled)
     return CrashEntry(kind=KIND_PROGRAM, seed=program.seed,
                       payload=program.to_dict(),
                       divergences=list(result.divergences),
@@ -175,11 +178,16 @@ class ReplayResult:
 
 
 def replay_entry(entry: CrashEntry,
-                 rules: Optional[RuleSet] = None) -> ReplayResult:
+                 rules: Optional[RuleSet] = None,
+                 compiled: bool = False) -> ReplayResult:
     """Re-execute a corpus entry; reproduced = still failing."""
     if entry.kind == KIND_PROGRAM:
         program = OpProgram.from_dict(entry.payload)  # type: ignore[arg-type]
-        result = check_program(program, rules)
+        # entries carrying a compiled divergence need the compiled
+        # differential re-run to reproduce
+        compiled = compiled or any(
+            d.kind == "compiled_divergence" for d in entry.divergences)
+        result = check_program(program, rules, compiled=compiled)
         detail = "; ".join(
             f"{d.kind}:{d.op}" for d in result.divergences) or "clean"
         return ReplayResult(entry=entry,

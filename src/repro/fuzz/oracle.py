@@ -111,34 +111,94 @@ class ExecutionResult:
     trace_errors: List[str] = field(default_factory=list)
 
 
+def _run_program(program: OpProgram, result: ExecutionResult,
+                 divergence_types: Tuple[type, ...] = ()) -> None:
+    """Execute a program's nodes, recording terminal state on ``result``.
+
+    ``divergence_types`` names exception classes that mark a *replay
+    divergence* rather than a crash (the compiled differential passes
+    :class:`~repro.compile.plan.PlanDivergenceError` here).
+    """
+    values: Dict[int, T.Tensor] = {}
+    for leaf in program.leaves:
+        values[leaf.nid] = T.tensor(
+            materialize_leaf(program.seed, leaf))
+    for node in program.nodes:
+        try:
+            out = _apply_node(node, values)
+        except divergence_types as exc:
+            result.status = "plan_divergence"
+            result.error = str(exc)
+            result.error_op = node.op
+            break
+        except TensorOpError as exc:
+            result.status = "classified"
+            result.error = str(exc)
+            result.error_op = node.op
+            break
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            result.status = "crash"
+            result.error = f"{type(exc).__name__}: {exc}"
+            result.error_op = node.op
+            break
+        values[node.nid] = out
+        result.realized[node.nid] = (
+            tuple(out.shape), str(out.dtype))
+
+
 def execute_program(program: OpProgram) -> ExecutionResult:
     """Run a program eagerly under profiling + the op observer."""
     result = ExecutionResult(program=program)
     recorder = OpInstanceRecorder(workload="fuzz")
-    values: Dict[int, T.Tensor] = {}
     with T.profile("fuzz") as prof:
         with op_observer(recorder):
-            for leaf in program.leaves:
-                values[leaf.nid] = T.tensor(
-                    materialize_leaf(program.seed, leaf))
-            for node in program.nodes:
-                try:
-                    out = _apply_node(node, values)
-                except TensorOpError as exc:
-                    result.status = "classified"
-                    result.error = str(exc)
-                    result.error_op = node.op
-                    break
-                except Exception as exc:  # noqa: BLE001 - the whole point
-                    result.status = "crash"
-                    result.error = f"{type(exc).__name__}: {exc}"
-                    result.error_op = node.op
-                    break
-                values[node.nid] = out
-                result.realized[node.nid] = (
-                    tuple(out.shape), str(out.dtype))
+            _run_program(program, result)
     result.instances = recorder.instances
     if recorder.instances:     # empty programs have nothing to validate
+        result.trace_errors = validate_trace(
+            prof.trace, require_flops=False).errors
+    return result
+
+
+def execute_program_compiled(program: OpProgram) -> ExecutionResult:
+    """Capture a plan from one eager run, then replay it compiled.
+
+    The capture run executes the program eagerly under a
+    :class:`~repro.compile.capture.PlanCapturer`; the replay runs the
+    *same program source* through a plan session, so every dispatched
+    op is served positionally from the plan.  A classified stop is
+    reproduced at the same node by construction (identical inputs);
+    a replay that walks off the plan surfaces as status
+    ``plan_divergence``.  Raises
+    :class:`~repro.compile.plan.PlanCaptureError` when the capture run
+    itself cannot be planned.
+    """
+    from repro.compile.capture import PlanCapturer, capture_program_plan
+    from repro.compile.executor import plan_session
+    from repro.compile.plan import PlanDivergenceError
+
+    capture_result = ExecutionResult(program=program)
+    capturer = PlanCapturer()
+    with T.profile("fuzz") as prof:
+        with op_observer(capturer):
+            _run_program(program, capture_result)
+    plan = capture_program_plan(prof.trace, capturer, workload="fuzz")
+
+    result = ExecutionResult(program=program)
+    recorder = OpInstanceRecorder(workload="fuzz")
+    try:
+        with T.profile("fuzz") as prof:
+            with plan_session(plan):
+                with op_observer(recorder):
+                    _run_program(program, result,
+                                 divergence_types=(PlanDivergenceError,))
+    except PlanDivergenceError as exc:
+        # an over/underrun raised outside a node application (e.g. on
+        # session bookkeeping) still counts as a replay divergence
+        result.status = "plan_divergence"
+        result.error = str(exc)
+    result.instances = recorder.instances
+    if recorder.instances:
         result.trace_errors = validate_trace(
             prof.trace, require_flops=False).errors
     return result
@@ -163,7 +223,8 @@ class Divergence:
     """One checked invariant the execution violated."""
 
     kind: str      # crash | shape_mismatch | dtype_mismatch |
-                   # rule_violation | trace_invalid | nondeterminism
+                   # rule_violation | trace_invalid | nondeterminism |
+                   # compiled_divergence
     op: str        # op involved ("" for whole-program kinds)
     detail: str
 
@@ -193,8 +254,16 @@ class CheckResult:
 
 
 def check_program(program: OpProgram,
-                  rules: Optional[RuleSet] = None) -> CheckResult:
-    """Execute twice and cross-check all oracle invariants."""
+                  rules: Optional[RuleSet] = None,
+                  compiled: bool = False) -> CheckResult:
+    """Execute twice and cross-check all oracle invariants.
+
+    ``compiled=True`` adds the eager-vs-compiled differential: a third
+    eager run captures a :class:`~repro.compile.plan.CompiledPlan` and
+    the program is replayed through it — identical counter digests,
+    realized shapes/dtypes, and terminal (classified) state are
+    required, mirroring the subsystem's bit-exactness contract.
+    """
     first = execute_program(program)
     second = execute_program(program)
     divergences: List[Divergence] = []
@@ -246,6 +315,9 @@ def check_program(program: OpProgram,
                 divergences.append(Divergence(
                     kind="rule_violation", op=inst.name, detail=issue))
 
+    if compiled and first.status != "crash":
+        divergences.extend(_compiled_differential(program, first))
+
     if divergences:
         status = "divergent"
     elif first.status == "classified":
@@ -256,6 +328,48 @@ def check_program(program: OpProgram,
                        divergences=divergences, digest=digest_one,
                        ops_executed=len(first.instances),
                        classified_error=first.error)
+
+
+def _compiled_differential(program: OpProgram,
+                           eager: ExecutionResult) -> List[Divergence]:
+    """Eager-vs-compiled cross-check for one program.
+
+    Compares the replay against the eager reference on the full
+    bit-exactness surface: counter digests over the observed op
+    instances, realized shape/dtype of every node, and the terminal
+    (classified-stop) state.
+    """
+    from repro.compile.plan import PlanError
+    try:
+        replay = execute_program_compiled(program)
+    except PlanError as exc:
+        return [Divergence(
+            kind="compiled_divergence", op="",
+            detail=f"plan capture/replay machinery failed: {exc}")]
+    out: List[Divergence] = []
+    eager_digest = counter_digest(eager.instances)
+    replay_digest = counter_digest(replay.instances)
+    if eager_digest != replay_digest:
+        out.append(Divergence(
+            kind="compiled_divergence", op="",
+            detail=f"counter digests differ eager vs compiled "
+                   f"({eager_digest[:12]} vs {replay_digest[:12]})"))
+    if (eager.status, eager.error) != (replay.status, replay.error):
+        out.append(Divergence(
+            kind="compiled_divergence",
+            op=replay.error_op or eager.error_op,
+            detail=f"terminal state differs eager vs compiled: "
+                   f"{eager.status}/{eager.error!r} vs "
+                   f"{replay.status}/{replay.error!r}"))
+    for nid, realized in sorted(eager.realized.items()):
+        got = replay.realized.get(nid)
+        if got != realized:
+            op = next((n.op for n in program.nodes if n.nid == nid), "")
+            out.append(Divergence(
+                kind="compiled_divergence", op=op,
+                detail=f"node {nid} realized {realized} eagerly but "
+                       f"{got} compiled"))
+    return out
 
 
 # ---------------------------------------------------------------------------

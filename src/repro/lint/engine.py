@@ -26,7 +26,7 @@ from repro.lint.registry import LintCheck, all_checks
 #: Package sub-trees whose compute must route through ``repro.tensor``
 #: (the instrumented zones of RL001/RL003).
 DEFAULT_ZONES: Tuple[str, ...] = ("workloads", "vsa", "nn", "logic",
-                                  "serve", "fuzz")
+                                  "serve", "fuzz", "compile")
 
 #: Check id used for files the engine itself cannot process.
 PARSE_ERROR_ID = "RL000"
@@ -172,6 +172,7 @@ def run_lint(config: LintConfig) -> LintResult:
     # importing the check modules populates the registry
     import repro.lint.checks  # noqa: F401
     import repro.lint.clocks  # noqa: F401
+    import repro.lint.compiled  # noqa: F401
     import repro.lint.concurrency  # noqa: F401
     import repro.lint.tracing  # noqa: F401
 

@@ -156,6 +156,10 @@ DEFAULT_POLICIES: Dict[str, MetricPolicy] = {
     "opportunities.": MetricPolicy(threshold=None),
     "bench.": MetricPolicy(threshold=None),
     "serve.": MetricPolicy(threshold=None, higher_is_worse=False),
+    # compiled-tier facts are deterministic plan properties; a drop in
+    # the modeled dispatch reduction (or in captured step counts) is a
+    # real compiler/capture change, not noise
+    "compile.": MetricPolicy(threshold=0.05, higher_is_worse=False),
 }
 
 
@@ -318,6 +322,10 @@ _RESULT_METRICS: Tuple[Tuple[str, str, Tuple[str, ...]], ...] = (
      ("throughput_rps",)),
     ("dispatch_overhead", "bench.dispatch_on_path_overhead",
      ("on_path_overheads", "nvsa")),
+    ("compile_speedup", "bench.compile_reduction.nvsa",
+     ("reductions", "nvsa")),
+    ("compile_speedup", "bench.compile_reduction.prae",
+     ("reductions", "prae")),
 )
 
 
@@ -367,11 +375,14 @@ def entry_from_sources(workloads: Sequence[str] = ("nvsa", "prae"),
     Pass ``created=""``/``sha=""`` to build identity-stable entries
     (tests assert two seeded builds are bit-identical).
     """
+    from repro.compile.capture import PlanCapturer
+    from repro.compile.passes import plan_from_trace
     from repro.core.analysis import latency_breakdown
     from repro.hwsim.devices import RTX_2080TI
     from repro.obs import selfprof
     from repro.obs.opportune import analyze_trace
     from repro.obs.runrec import counters_digest, git_sha
+    from repro.tensor.context import op_observer
     device = device if device is not None else RTX_2080TI
     metrics: Dict[str, float] = {}
     meta: Dict[str, object] = {"seed": seed,
@@ -379,10 +390,16 @@ def entry_from_sources(workloads: Sequence[str] = ("nvsa", "prae"),
     digests: Dict[str, Dict[str, str]] = {}
     from repro.workloads import create
     for name in workloads:
+        # the plan capturer rides the same ledgered run: observers see
+        # every dispatched op, so one profile yields ledger + plan
+        capturer = PlanCapturer()
         with selfprof.scoped_ledger() as ledger:
-            trace = create(name, seed=seed).profile()
+            with op_observer(capturer):
+                trace = create(name, seed=seed).profile()
         projected = latency_breakdown(trace, device).total_time
         report = analyze_trace(trace)
+        plan = plan_from_trace(trace, capturer, report=report,
+                               workload=name)
         metrics[f"dispatch.{name}.ops"] = float(ledger.ops)
         metrics[f"dispatch.{name}.modeled_overhead_ns"] = float(
             ledger.modeled_overhead_ns())
@@ -392,10 +409,15 @@ def entry_from_sources(workloads: Sequence[str] = ("nvsa", "prae"),
             len(report.opportunities))
         metrics[f"opportunities.{name}.projected_saved_ns"] = float(
             report.total_projected_saved_ns)
+        metrics[f"compile.{name}.steps"] = float(len(plan.steps))
+        metrics[f"compile.{name}.groups"] = float(len(plan.groups))
+        metrics[f"compile.{name}.modeled_reduction_x"] = round(
+            plan.modeled_reduction(), 6)
         digests[name] = {
             "ledger": ledger.digest(),
             "opportunities": report.digest(),
             "counters": counters_digest(trace),
+            "plan": plan.digest(),
         }
     meta["digests"] = digests
     if results_dir is not None:

@@ -35,14 +35,16 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.profiler import Trace, TraceEvent
 from repro.core.taxonomy import OpCategory
 from repro.obs.selfprof import MODELED_OVERHEAD_NS_PER_OP
 from repro.obs.spans import SpanRecord
 
 __all__ = ["Opportunity", "OpportunityReport", "analyze_trace",
-           "MODELED_ALLOC_NS", "MIN_CHAIN", "MIN_REPEATS",
-           "MIN_ALLOC_SITES"]
+           "fusible_link", "MODELED_ALLOC_NS", "MIN_CHAIN",
+           "MIN_REPEATS", "MIN_ALLOC_SITES"]
 
 #: Modeled cost of one numpy output allocation (ns); part of the same
 #: frozen cost model as MODELED_COMPONENT_NS.
@@ -188,6 +190,39 @@ def _event_span_path(event: TraceEvent, paths: Dict[int, str]) -> str:
 # ---------------------------------------------------------------------------
 
 
+def fusible_link(prev: Optional[TraceEvent],
+                 event: TraceEvent) -> bool:
+    """True when ``event`` can extend an elementwise chain after ``prev``.
+
+    The single fusibility predicate shared by this analyzer and the
+    plan compiler's fusion pass (``repro.compile.passes``), so the
+    opportunity report and the compiled plan always agree on what
+    fuses.  ``event`` links when it is elementwise, consumes
+    ``prev``'s output directly, sits in the same span / phase / stage,
+    and its output shape is *broadcast-compatible* with ``prev``'s
+    (identical shapes are the common case, but a fused elementwise
+    loop is equally legal across a numpy-broadcast step, e.g.
+    ``(4, 1)`` feeding ``(4, 8)``).  ``prev is None`` asks whether
+    ``event`` may start a fresh chain.
+    """
+    if event.category is not OpCategory.ELEMENTWISE:
+        return False
+    if prev is None:
+        return True
+    if prev.eid not in event.parents:
+        return False
+    if getattr(event, "sid", None) != getattr(prev, "sid", None):
+        return False
+    if event.phase != prev.phase or event.stage != prev.stage:
+        return False
+    try:
+        np.broadcast_shapes(tuple(prev.output_shape),
+                            tuple(event.output_shape))
+    except ValueError:
+        return False
+    return True
+
+
 def _find_fusible_chains(events: Sequence[TraceEvent],
                          paths: Dict[int, str],
                          min_chain: int) -> List[Opportunity]:
@@ -215,19 +250,11 @@ def _find_fusible_chains(events: Sequence[TraceEvent],
         chain.clear()
 
     for event in events:
-        linkable = (
-            event.category is OpCategory.ELEMENTWISE
-            and (not chain
-                 or (chain[-1].eid in event.parents
-                     and getattr(event, "sid", None)
-                     == getattr(chain[-1], "sid", None)
-                     and event.phase == chain[-1].phase
-                     and event.stage == chain[-1].stage)))
-        if linkable:
+        if fusible_link(chain[-1] if chain else None, event):
             chain.append(event)
         else:
             flush()
-            if event.category is OpCategory.ELEMENTWISE:
+            if fusible_link(None, event):
                 chain.append(event)
     flush()
     return out

@@ -234,6 +234,13 @@ class ResilientRunner:
 
     ``sleep`` and ``clock`` are injectable for tests; ``factory``
     defaults to the workload registry's ``create``.
+
+    ``compiled=True`` routes fault-free attempts through the
+    :mod:`repro.compile` plan tier — ``plan_provider`` resolves plans
+    (e.g. :meth:`~repro.serve.cache.ArtifactCache.plan_factory`),
+    defaulting to a local capture-once cache — and falls back to a
+    fresh eager attempt on plan divergence.  Fault-injection attempts
+    always run eager.
     """
 
     def __init__(self,
@@ -246,6 +253,8 @@ class ResilientRunner:
                  expected_phases: Sequence[str] = (PHASE_NEURAL,
                                                    PHASE_SYMBOLIC),
                  factory: Optional[Callable[..., object]] = None,
+                 compiled: bool = False,
+                 plan_provider: Optional[Callable[..., object]] = None,
                  sleep: Callable[[float], None] = time.sleep,
                  clock: Callable[[], float] = time.monotonic):
         if factory is None:
@@ -258,8 +267,12 @@ class ResilientRunner:
         self.rotate_seed = rotate_seed
         self.expected_phases = tuple(expected_phases)
         self.factory = factory
+        self.compiled = compiled
+        self.plan_provider = plan_provider
         self.sleep = sleep
         self.clock = clock
+        self._plans: Dict[object, object] = {}
+        self._plans_lock = threading.Lock()
         self._breakers: Dict[str, CircuitBreaker] = {}
         # the serving worker pool shares one runner across threads;
         # lazy breaker creation must not race
@@ -382,9 +395,16 @@ class ResilientRunner:
         pool thread.
         """
         def work() -> Trace:
-            workload = self.factory(name, seed=seed, **params)
             if fault_plan is None:
-                return workload.profile()
+                if self.compiled:
+                    trace = self._compiled_attempt(name, seed, params)
+                    if trace is not None:
+                        return trace
+                return self.factory(name, seed=seed, **params).profile()
+            # fault-injection attempts always run eager: fault plans
+            # count op indices by consulting every dispatch, which the
+            # compiled tier deliberately does not do
+            workload = self.factory(name, seed=seed, **params)
             fault_plan.reset()
             with fault_plan:
                 return workload.profile()
@@ -406,6 +426,42 @@ class ResilientRunner:
                 f"budget") from None
         pool.shutdown(wait=True)
         return result
+
+    def _compiled_attempt(self, name: str, seed: int,
+                          params: Dict[str, object]) -> Optional[Trace]:
+        """One compiled replay; ``None`` means fall back to eager.
+
+        Error classification is unchanged from eager: a workload error
+        raised during replay (or during the capture run that builds
+        the plan) propagates and classifies exactly as it would have
+        eagerly — only plan-machinery errors
+        (:class:`~repro.compile.plan.PlanError`, which includes
+        divergence) are swallowed, because re-running eagerly fixes
+        them while retrying compiled never would.
+        """
+        from repro.compile.executor import run_compiled
+        from repro.compile.plan import PlanError
+        try:
+            plan = self._plan_for(name, seed, params)
+            workload = self.factory(name, seed=seed, **params)
+            return run_compiled(workload, plan)
+        except PlanError:
+            return None
+
+    def _plan_for(self, name: str, seed: int,
+                  params: Dict[str, object]) -> object:
+        if self.plan_provider is not None:
+            return self.plan_provider(name, seed=seed, **params)
+        key = (name, seed, tuple(sorted(params.items())))
+        with self._plans_lock:
+            plan = self._plans.get(key)
+        if plan is not None:
+            return plan
+        from repro.compile.capture import capture_plan  # deferred (layer)
+        plan = capture_plan(self.factory(name, seed=seed, **params))
+        with self._plans_lock:
+            # a racer may have captured concurrently; keep the first
+            return self._plans.setdefault(key, plan)
 
     def _safe_characterize(self, trace: Trace) -> Optional[WorkloadReport]:
         """Analyses on a possibly-poisoned trace; ``None`` if they die."""

@@ -19,6 +19,15 @@ repeated ``repro serve bench`` runs bit-identical.
 Hit/miss/eviction accounting is deterministic under concurrency: a
 per-key build gate ensures exactly one thread builds on a cold key
 (counted as the sole miss) while racers block and count hits.
+
+The cache also carries a **compiled-plan tier** (ISSUE 10): a
+:class:`~repro.compile.plan.CompiledPlan` captured once per key and
+handed out *without* copying — plans are immutable once built, so
+:meth:`checkout_plan` is deepcopy-free, which is exactly the economy
+that makes the compiled serving path worth it.  Plan accounting
+(``plan_hits`` / ``plan_misses`` / ``plan_builds``) is split from the
+eager artifact counters; note a plan build consumes one eager
+checkout internally (the capture run needs a pristine instance).
 """
 
 from __future__ import annotations
@@ -53,10 +62,16 @@ class ArtifactCache:
         self._lock = threading.Lock()
         self._entries: "OrderedDict[ArtifactKey, object]" = OrderedDict()
         self._gates: Dict[ArtifactKey, threading.Lock] = {}
+        self._plans: "OrderedDict[ArtifactKey, object]" = OrderedDict()
+        self._plan_gates: Dict[ArtifactKey, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.build_errors = 0
+        self.plan_hits = 0
+        self.plan_misses = 0
+        self.plan_builds = 0
+        self.plan_evictions = 0
 
     # -- core ----------------------------------------------------------------
     def checkout(self, key: ArtifactKey) -> object:
@@ -108,6 +123,58 @@ class ArtifactCache:
                 master = built
         return copy.deepcopy(master)
 
+    def checkout_plan(self, key: ArtifactKey) -> object:
+        """The :class:`CompiledPlan` for ``key`` — built once, shared.
+
+        Unlike :meth:`checkout`, the returned plan is **not** copied:
+        plans are immutable once assembled, so every worker replays
+        the same object.  A cold key captures the plan from one fresh
+        eager checkout under a per-key gate (exactly one capture run
+        per key, counted as the sole plan miss).
+        """
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.plan_hits += 1
+                return plan
+            gate = self._plan_gates.get(key)
+            if gate is None:
+                gate = self._plan_gates[key] = threading.Lock()
+
+        with gate:
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is not None:             # a racer captured first
+                    self._plans.move_to_end(key)
+                    self.plan_hits += 1
+                    return plan
+            try:
+                plan = self._capture_plan(key)
+            except BaseException:
+                # same non-poisoning contract as the eager tier: drop
+                # the gate so the next checkout retries the capture
+                with self._lock:
+                    self.build_errors += 1
+                    self._plan_gates.pop(key, None)
+                raise
+            with self._lock:
+                self.plan_misses += 1
+                self.plan_builds += 1
+                self._plans[key] = plan
+                self._plans.move_to_end(key)
+                while len(self._plans) > self.capacity:
+                    self._plans.popitem(last=False)
+                    self.plan_evictions += 1
+                self._plan_gates.pop(key, None)
+        return plan
+
+    def _capture_plan(self, key: ArtifactKey) -> object:
+        from repro.compile.capture import capture_plan  # deferred (layer)
+        # the capture run consumes one eager checkout — a pristine
+        # deep copy, so the cached master stays executable-once clean
+        return capture_plan(self.checkout(key))
+
     def _build(self, key: ArtifactKey) -> object:
         workload = self._builder(key.workload, seed=key.seed,
                                  **dict(key.params))
@@ -131,6 +198,19 @@ class ArtifactCache:
                 params=tuple(sorted(params.items()))))
         return make
 
+    def plan_factory(self) -> Callable[..., object]:
+        """Like :meth:`factory` but resolving compiled plans.
+
+        Drop-in for :class:`~repro.resilience.runner.ResilientRunner`'s
+        ``plan_provider`` argument: ``plan_for(name, seed=0, **params)``
+        returns the shared immutable plan for the key.
+        """
+        def plan_for(name: str, seed: int = 0, **params: object) -> object:
+            return self.checkout_plan(ArtifactKey(
+                workload=name, seed=seed,
+                params=tuple(sorted(params.items()))))
+        return plan_for
+
     # -- accounting ----------------------------------------------------------
     def __len__(self) -> int:
         with self._lock:
@@ -142,4 +222,9 @@ class ArtifactCache:
                     "evictions": self.evictions,
                     "build_errors": self.build_errors,
                     "size": len(self._entries),
-                    "capacity": self.capacity}
+                    "capacity": self.capacity,
+                    "plan_hits": self.plan_hits,
+                    "plan_misses": self.plan_misses,
+                    "plan_builds": self.plan_builds,
+                    "plan_evictions": self.plan_evictions,
+                    "plan_size": len(self._plans)}

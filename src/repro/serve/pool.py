@@ -109,18 +109,22 @@ class Worker:
                  cache: ArtifactCache,
                  timeout: Optional[float] = None,
                  retry: Optional[RetryPolicy] = None,
-                 fault_plans: Optional[Dict[str, FaultPlan]] = None):
+                 fault_plans: Optional[Dict[str, FaultPlan]] = None,
+                 compiled: bool = False):
         self.index = index
         self.name = f"worker-{index}"
         self.device = device
         self.cache = cache
         self.fault_plans = fault_plans or {}
+        self.compiled = compiled
         # timeout=None keeps attempts on this thread, which preserves
         # thread-local metric/span bindings for the whole batch.
         self.runner = ResilientRunner(
             timeout=timeout,
             retry=retry or RetryPolicy(max_retries=1),
             factory=cache.factory(),
+            compiled=compiled,
+            plan_provider=cache.plan_factory() if compiled else None,
         )
         self.batches_executed = 0
 

@@ -67,6 +67,7 @@ class ServeConfig:
     cache_capacity: int = 32
     timeout: Optional[float] = None   # per-attempt wall budget
     max_retries: int = 1
+    compiled: bool = False            # workers replay compiled plans
     runtime: Optional[RuntimeMetrics] = None
 
     def __post_init__(self) -> None:
@@ -167,7 +168,8 @@ class InferenceServer:
                    retry=retry,
                    # each worker gets private plan copies: FaultPlan is
                    # stateful and must not be shared across threads
-                   fault_plans=copy.deepcopy(fault_plans or {}))
+                   fault_plans=copy.deepcopy(fault_plans or {}),
+                   compiled=self.config.compiled)
             for i in range(self.config.workers)
         ]
         self.pool = WorkerPool(self.workers, runtime=self.config.runtime)

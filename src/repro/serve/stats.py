@@ -91,6 +91,12 @@ class ServerStats:
             "repro_serve_cache_misses", "artifact cache misses")
         self.cache_evictions = reg.gauge(
             "repro_serve_cache_evictions", "artifact cache evictions")
+        self.cache_plan_hits = reg.gauge(
+            "repro_serve_cache_plan_hits", "compiled-plan tier hits")
+        self.cache_plan_misses = reg.gauge(
+            "repro_serve_cache_plan_misses", "compiled-plan tier misses")
+        self.cache_plan_builds = reg.gauge(
+            "repro_serve_cache_plan_builds", "compiled-plan captures")
         # plain counters shared between worker threads (record_*) and
         # the main thread (summary); metric instruments lock internally
         self._agg_lock = threading.Lock()
@@ -136,6 +142,11 @@ class ServerStats:
         self.cache_hits.set(float(cache_stats.get("hits", 0)))
         self.cache_misses.set(float(cache_stats.get("misses", 0)))
         self.cache_evictions.set(float(cache_stats.get("evictions", 0)))
+        self.cache_plan_hits.set(float(cache_stats.get("plan_hits", 0)))
+        self.cache_plan_misses.set(
+            float(cache_stats.get("plan_misses", 0)))
+        self.cache_plan_builds.set(
+            float(cache_stats.get("plan_builds", 0)))
 
     # -- derived figures -----------------------------------------------------
     def _status_counts(self) -> Dict[str, int]:
@@ -208,7 +219,10 @@ class ServerStats:
             },
             "cache": {"hits": int(self.cache_hits.value()),
                       "misses": int(self.cache_misses.value()),
-                      "evictions": int(self.cache_evictions.value())},
+                      "evictions": int(self.cache_evictions.value()),
+                      "plan_hits": int(self.cache_plan_hits.value()),
+                      "plan_misses": int(self.cache_plan_misses.value()),
+                      "plan_builds": int(self.cache_plan_builds.value())},
             "per_workload": {
                 w: {
                     "requests": sum(
@@ -263,10 +277,15 @@ class ServerStats:
             ["workload", "requests", "batches", "p99", "deadline miss"],
             wl_rows, title="Per-workload"))
         cache = det["cache"]  # type: ignore[index]
+        plan_note = ""
+        if cache["plan_hits"] or cache["plan_misses"]:
+            plan_note = (f" plan_hits={cache['plan_hits']} "
+                         f"plan_misses={cache['plan_misses']}")
         lines.append(
             f"batches={det['batches']} mean_batch={det['mean_batch_size']:.2f} "
             f"queue_peak={det['queue_depth_peak']} "
-            f"cache_hits={cache['hits']} cache_misses={cache['misses']} "
+            f"cache_hits={cache['hits']} cache_misses={cache['misses']}"
+            f"{plan_note} "
             f"rejection_rate={det['rejection_rate']:.1%}")
         if meas["wall_elapsed"]:
             lines.append(

@@ -39,6 +39,11 @@ from repro.tensor.context import (InjectedFaultError, ProfileContext,
                                   active_op_observer)
 from repro.tensor.tensor import Tensor
 
+# imported last: repro.compile.executor reaches back into the two
+# tensor modules above, and this ordering keeps the cycle resolvable
+# from either import direction
+import repro.compile.executor as _planexec  # noqa: E402
+
 #: Arrays larger than this skip sparsity measurement (keeps dispatch cheap).
 _SPARSITY_MEASURE_LIMIT = 1 << 26
 
@@ -189,6 +194,13 @@ def run_op(name: str,
     bytes_written:
         Override for written bytes; defaults to the output's nbytes.
     """
+    if _planexec.ENABLED:
+        # compiled tier: a thread with an open plan session replays
+        # this op against its positional plan (bit-exact contract);
+        # other threads fall through to eager dispatch
+        session = _planexec.active_session()
+        if session is not None:
+            return session.replay_op(name, compute, inputs)
     if _selfprof.ENABLED:
         # self-profiling path: identical semantics, with paired
         # perf_ns probes bracketing each dispatch component

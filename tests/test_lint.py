@@ -635,7 +635,8 @@ class TestShippedTreeIsClean:
         assert result.checks_run == ("RL001", "RL002", "RL003",
                                      "RL004", "RL005", "RL101",
                                      "RL102", "RL103", "RL104",
-                                     "RL105", "RL106", "RL107")
+                                     "RL105", "RL106", "RL107",
+                                     "RL108")
         assert result.findings == []
 
     def test_shipped_baseline_is_empty(self):

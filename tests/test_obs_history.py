@@ -163,10 +163,14 @@ class TestEntryFromSources:
                        "dispatch.lnn.modeled_overhead_ns",
                        "headroom.lnn.pct",
                        "opportunities.lnn.count",
-                       "opportunities.lnn.projected_saved_ns"):
+                       "opportunities.lnn.projected_saved_ns",
+                       "compile.lnn.steps",
+                       "compile.lnn.groups",
+                       "compile.lnn.modeled_reduction_x"):
             assert metric in entry.metrics, metric
         digests = entry.meta["digests"]["lnn"]
-        assert set(digests) == {"ledger", "opportunities", "counters"}
+        assert set(digests) == {"ledger", "opportunities", "counters",
+                                "plan"}
         assert 0.0 < entry.metrics["headroom.lnn.pct"] < 100.0
 
     def test_ingest_results(self, tmp_path):
